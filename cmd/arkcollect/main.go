@@ -1,0 +1,136 @@
+// Command arkcollect runs the Ark-style topology sweep on its own and
+// dumps the observed router-interface dataset — the reproduction's
+// equivalent of extracting the Ark-topo-router addresses from one week of
+// the CAIDA topology dataset (§2.1). It also prints the ITDK-style alias
+// summary (interfaces per observed router).
+//
+// Usage:
+//
+//	arkcollect [-seed N] [-ases N] [-monitors N] [-cycles N] [-out file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"routergeo/internal/ark"
+	"routergeo/internal/ark/wartslite"
+	"routergeo/internal/ipx"
+	"routergeo/internal/netsim"
+	"routergeo/internal/traceroute"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "world seed")
+		ases     = flag.Int("ases", 0, "number of ASes (0 = default)")
+		monitors = flag.Int("monitors", 0, "number of monitors (0 = default)")
+		cycles   = flag.Int("cycles", 0, "probing cycles (0 = default)")
+		out      = flag.String("out", "", "write one observed address per line to this file ('-' = stdout)")
+		warts    = flag.String("warts", "", "archive every raw trace to this file in the wartslite container")
+	)
+	flag.Parse()
+
+	wcfg := netsim.DefaultConfig()
+	wcfg.Seed = *seed
+	if *ases > 0 {
+		wcfg.ASes = *ases
+	}
+	w, err := netsim.Build(wcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arkcollect:", err)
+		os.Exit(1)
+	}
+
+	acfg := ark.DefaultConfig()
+	acfg.Seed = *seed
+	if *monitors > 0 {
+		acfg.Monitors = *monitors
+	}
+	if *cycles > 0 {
+		acfg.Cycles = *cycles
+	}
+
+	// With -warts, buffer every raw trace and write the archive once the
+	// sweep finishes (the monitor table is only known after placement).
+	var buffered []wartslite.Trace
+	if *warts != "" {
+		acfg.Sink = func(monitor string, dst ipx.Addr, hops []traceroute.Hop) {
+			t := wartslite.Trace{Monitor: monitor, Dst: dst}
+			for _, h := range hops {
+				if h.Iface < 0 {
+					continue
+				}
+				t.Hops = append(t.Hops, wartslite.Hop{
+					Addr:  w.Interfaces[h.Iface].Addr,
+					RTTMs: h.RTTMs,
+				})
+			}
+			buffered = append(buffered, t)
+		}
+	}
+
+	coll := ark.Collect(w, acfg)
+
+	if *warts != "" {
+		f, err := os.Create(*warts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arkcollect:", err)
+			os.Exit(1)
+		}
+		names := make([]string, len(coll.Monitors))
+		for i, m := range coll.Monitors {
+			names[i] = m.Name
+		}
+		ww, err := wartslite.NewWriter(f, names)
+		if err == nil {
+			for _, t := range buffered {
+				if err = ww.WriteTrace(t); err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			err = ww.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arkcollect:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "archived %d traces to %s\n", len(buffered), *warts)
+	}
+
+	aliases := ark.AliasSets(w, coll)
+	fmt.Fprintf(os.Stderr, "world: %d routers, %d interfaces\n", w.NumRouters(), w.NumInterfaces())
+	fmt.Fprintf(os.Stderr, "sweep: %d monitors, %d traces\n", len(coll.Monitors), coll.Traces)
+	fmt.Fprintf(os.Stderr, "observed: %d interfaces on %d routers (%.2f interfaces/router; the paper's 1,638K/485K = 3.38)\n",
+		len(coll.Interfaces), len(aliases), float64(len(coll.Interfaces))/float64(len(aliases)))
+
+	if *out == "" {
+		return
+	}
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arkcollect:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	bw := bufio.NewWriter(f)
+	for _, id := range coll.Interfaces {
+		fmt.Fprintln(bw, w.Interfaces[id].Addr)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "arkcollect:", err)
+		os.Exit(1)
+	}
+}

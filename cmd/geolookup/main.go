@@ -1,0 +1,125 @@
+// Command geolookup queries exported geolocation databases (.rgdb files
+// written by cmd/routergeo -dbdir or Study.ExportDatabases) for one or
+// more IPv4 addresses, printing each database's answer side by side —
+// a miniature of the pairwise-consistency view the paper builds at scale.
+//
+// Usage:
+//
+//	geolookup -db dir_or_file [-db ...] ip [ip...]
+//
+// Each -db flag names one .rgdb or .csv database file, or a directory
+// containing several.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/dbcsv"
+	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/ipx"
+)
+
+type dbList []string
+
+func (d *dbList) String() string     { return strings.Join(*d, ",") }
+func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var dbPaths dbList
+	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
+	flag.Parse()
+
+	if len(dbPaths) == 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: geolookup -db dir_or_file [-db ...] ip [ip...]")
+		os.Exit(2)
+	}
+
+	var dbs []*geodb.DB
+	for _, p := range dbPaths {
+		loaded, err := loadPath(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geolookup:", err)
+			os.Exit(1)
+		}
+		dbs = append(dbs, loaded...)
+	}
+	if len(dbs) == 0 {
+		fmt.Fprintln(os.Stderr, "geolookup: no databases loaded")
+		os.Exit(1)
+	}
+
+	exit := 0
+	for _, arg := range flag.Args() {
+		addr, err := ipx.ParseAddr(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geolookup: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s\n", addr)
+		for _, db := range dbs {
+			rec, ok := db.Lookup(addr)
+			switch {
+			case !ok:
+				fmt.Printf("  %-18s no record\n", db.Name())
+			case rec.HasCity():
+				fmt.Printf("  %-18s %s / %s (%.4f,%.4f) [/%d record]\n",
+					db.Name(), rec.Country, rec.City, rec.Coord.Lat, rec.Coord.Lon, rec.BlockBits)
+			case rec.HasCountry():
+				fmt.Printf("  %-18s %s (country only) [/%d record]\n",
+					db.Name(), rec.Country, rec.BlockBits)
+			default:
+				fmt.Printf("  %-18s empty record\n", db.Name())
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// loadPath loads one .rgdb file, or every *.rgdb file in a directory.
+func loadPath(p string) ([]*geodb.DB, error) {
+	info, err := os.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		db, err := loadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		return []*geodb.DB{db}, nil
+	}
+	var out []*geodb.DB
+	for _, pattern := range []string{"*.rgdb", "*.csv"} {
+		matches, err := filepath.Glob(filepath.Join(p, pattern))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			db, err := loadFile(m)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", m, err)
+			}
+			out = append(out, db)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no .rgdb or .csv files", p)
+	}
+	return out, nil
+}
+
+// loadFile dispatches on extension: the binary format self-describes its
+// name; CSV databases are named after their file.
+func loadFile(p string) (*geodb.DB, error) {
+	if strings.HasSuffix(p, ".csv") {
+		name := strings.TrimSuffix(filepath.Base(p), ".csv")
+		return dbcsv.ReadFile(p, name)
+	}
+	return dbfile.ReadFile(p)
+}

@@ -1,0 +1,115 @@
+// Command geoserve exposes geolocation databases over HTTP, the way the
+// commercial products are consumed in production. It serves either
+// exported .rgdb files or the four simulated databases of a freshly
+// built study.
+//
+// Usage:
+//
+//	geoserve [-addr :8080] [-db dir_or_file]...   # serve exported files
+//	geoserve [-addr :8080] -build [-seed N]       # build a study and serve it
+//
+// Endpoints: GET /v1/databases, GET /v1/lookup?ip=A[&db=N], GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"routergeo/internal/experiments"
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/httpapi"
+)
+
+type dbList []string
+
+func (d *dbList) String() string     { return strings.Join(*d, ",") }
+func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		build   = flag.Bool("build", false, "build a study and serve its four databases")
+		seed    = flag.Int64("seed", 1, "world seed (with -build)")
+		dbPaths dbList
+	)
+	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
+	flag.Parse()
+
+	var dbs []*geodb.DB
+	switch {
+	case *build:
+		cfg := experiments.DefaultConfig()
+		cfg.World.Seed = *seed
+		fmt.Fprintln(os.Stderr, "building study...")
+		start := time.Now()
+		env, err := experiments.NewEnv(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geoserve:", err)
+			os.Exit(1)
+		}
+		dbs = env.DBs
+		fmt.Fprintf(os.Stderr, "built in %v\n", time.Since(start).Round(time.Millisecond))
+	case len(dbPaths) > 0:
+		for _, p := range dbPaths {
+			loaded, err := load(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "geoserve:", err)
+				os.Exit(1)
+			}
+			dbs = append(dbs, loaded...)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: geoserve [-addr A] (-build | -db path...)")
+		os.Exit(2)
+	}
+
+	for _, db := range dbs {
+		fmt.Fprintf(os.Stderr, "serving %s (%d ranges)\n", db.Name(), db.Len())
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewHandler(dbs),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "listening on http://%s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "geoserve:", err)
+		os.Exit(1)
+	}
+}
+
+func load(p string) ([]*geodb.DB, error) {
+	info, err := os.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		db, err := dbfile.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		return []*geodb.DB{db}, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(p, "*.rgdb"))
+	if err != nil {
+		return nil, err
+	}
+	var out []*geodb.DB
+	for _, m := range matches {
+		db, err := dbfile.ReadFile(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m, err)
+		}
+		out = append(out, db)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no .rgdb files", p)
+	}
+	return out, nil
+}

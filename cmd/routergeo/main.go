@@ -1,0 +1,135 @@
+// Command routergeo runs the full reproduction of "A Look at Router
+// Geolocation in Public and Commercial Databases" (IMC 2017): it builds
+// the synthetic world, collects the Ark-style topology sweep, deploys the
+// Atlas-style probe fleet, constructs both ground-truth datasets, builds
+// the four vendor databases, and reproduces every table and figure of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	routergeo [-seed N] [-ases N] [-list] [-run id[,id...]] [-dbdir DIR]
+//
+// With no flags it runs every experiment. -list names them; -run selects
+// a subset; -dbdir additionally exports the four vendor databases in the
+// dbfile binary format for use with cmd/geolookup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"routergeo/internal/experiments"
+	"routergeo/internal/geodb/dbfile"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "world seed (changes every random draw downstream)")
+		ases      = flag.Int("ases", 0, "number of ASes in the world (0 = default scale)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		run       = flag.String("run", "", "comma-separated experiment IDs to run (default: all paper artifacts)")
+		ext       = flag.Bool("ext", false, "also run the extension analyses (or list them with -list)")
+		dbdir     = flag.String("dbdir", "", "export the vendor databases to this directory")
+		plotdir   = flag.String("plotdir", "", "export figure series as TSV files to this directory")
+		stability = flag.Int("stability", 0, "instead of experiments, rebuild the pipeline under N seeds and print headline metrics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		if *ext {
+			for _, e := range experiments.Extensions() {
+				fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			}
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.World.Seed = *seed
+	if *ases > 0 {
+		cfg.World.ASes = *ases
+	}
+
+	if *stability > 0 {
+		seeds := make([]int64, *stability)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		if err := experiments.StabilityReport(os.Stdout, cfg, seeds); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building environment (world seed %d)...\n", *seed)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routergeo:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v: %d routers, %d interfaces, %d Ark addresses, %d ground-truth addresses\n",
+		time.Since(start).Round(time.Millisecond),
+		env.W.NumRouters(), env.W.NumInterfaces(), len(env.ArkAddrs), env.GT.Len())
+
+	if *dbdir != "" {
+		if err := os.MkdirAll(*dbdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			os.Exit(1)
+		}
+		for _, db := range env.DBs {
+			path := filepath.Join(*dbdir, strings.ToLower(db.Name())+".rgdb")
+			if err := dbfile.WriteFile(path, db); err != nil {
+				fmt.Fprintln(os.Stderr, "routergeo:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d ranges)\n", path, db.Len())
+		}
+	}
+
+	if *plotdir != "" {
+		if err := experiments.WritePlotData(*plotdir, env); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote figure series to %s\n", *plotdir)
+	}
+
+	if *run == "" {
+		if err := experiments.RunAll(os.Stdout, env); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			os.Exit(1)
+		}
+		if *ext {
+			for _, e := range experiments.Extensions() {
+				fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
+				if err := e.Run(os.Stdout, env); err != nil {
+					fmt.Fprintln(os.Stderr, "routergeo:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "routergeo: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, env); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			os.Exit(1)
+		}
+	}
+}

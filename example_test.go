@@ -1,0 +1,60 @@
+package routergeo_test
+
+import (
+	"fmt"
+	"os"
+
+	"routergeo"
+)
+
+// Example shows the minimal end-to-end flow: build a study, list the
+// simulated databases, and query one of them.
+func Example() {
+	study, err := routergeo.New(routergeo.Quick(), routergeo.WithSeed(3))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	for _, db := range study.Databases() {
+		fmt.Println(db)
+	}
+	// Output:
+	// IP2Location-Lite
+	// MaxMind-GeoLite
+	// MaxMind-Paid
+	// NetAcuity
+}
+
+// ExampleStudy_Accuracy evaluates one database against the ground truth,
+// the paper's §5.2 headline measurement.
+func ExampleStudy_Accuracy() {
+	study, err := routergeo.New(routergeo.Quick(), routergeo.WithSeed(3))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	acc := study.Accuracy("NetAcuity")
+	// NetAcuity's near-total coverage is structural (its pipeline emits a
+	// record for every allocation), so this is stable across seeds.
+	fmt.Printf("full city coverage: %v\n", acc.CityCoverage > 0.99)
+	fmt.Printf("answers scored: %v\n", acc.Targets > 0)
+	// Output:
+	// full city coverage: true
+	// answers scored: true
+}
+
+// ExampleStudy_RunExperiment regenerates one of the paper's artifacts.
+func ExampleStudy_RunExperiment() {
+	study, err := routergeo.New(routergeo.Quick(), routergeo.WithSeed(3))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	// Every artifact is addressable by ID; see ExperimentIDs().
+	fmt.Println(len(routergeo.ExperimentIDs()), "experiments")
+	err = study.RunExperiment("rec", os.Stderr) // write §6 to stderr
+	fmt.Println("ran:", err == nil)
+	// Output:
+	// 14 experiments
+	// ran: true
+}

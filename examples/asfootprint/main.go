@@ -1,0 +1,109 @@
+// ASFootprint: another workload from the paper's introduction —
+// estimating the geographic presence of an autonomous system from the
+// locations of its router addresses. We take the seeded multinational
+// operators (the seven ground-truth domains), compute their per-country
+// interface counts from exact truth, and compare with what each database
+// would report. Registry-fed databases collapse a multinational's
+// footprint onto its headquarters country, which is precisely the bias
+// behind the paper's §5.2.3 case study.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"routergeo"
+)
+
+func main() {
+	study, err := routergeo.New(routergeo.Quick(), routergeo.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, domain := range []string{"cogentco.com", "seabone.net"} {
+		op, ok := findOperator(study, domain)
+		if !ok {
+			log.Fatalf("operator %s missing from the world", domain)
+		}
+		fmt.Printf("=== AS%d %s (%s), %d interfaces ===\n",
+			op.ASN, op.Name, op.Domain, len(op.Interfaces))
+
+		truth := map[string]int{}
+		perDB := map[string]map[string]int{}
+		for _, db := range study.Databases() {
+			perDB[db] = map[string]int{}
+		}
+		for _, ip := range op.Interfaces {
+			if loc, ok := study.TrueLocation(ip); ok {
+				truth[loc.Country]++
+			}
+			for _, db := range study.Databases() {
+				if loc, ok := study.Lookup(db, ip); ok && loc.Country != "" {
+					perDB[db][loc.Country]++
+				}
+			}
+		}
+
+		fmt.Printf("  true footprint: %d countries; databases report:\n", len(truth))
+		for _, db := range study.Databases() {
+			fmt.Printf("    %-18s %d countries (home-country share %5.1f%% vs true %5.1f%%)\n",
+				db, len(perDB[db]),
+				100*share(perDB[db], op.HomeCountry), 100*share(truth, op.HomeCountry))
+		}
+		fmt.Printf("  top true countries: %s\n", top(truth, 5))
+		fmt.Printf("  top per IP2Location: %s\n\n", top(perDB["IP2Location-Lite"], 5))
+	}
+
+	fmt.Println("A registry-fed database inflates the home-country share and shrinks the")
+	fmt.Println("visible footprint; an AS-presence study built on it undercounts foreign PoPs.")
+}
+
+func findOperator(study *routergeo.Study, domain string) (routergeo.ASInfo, bool) {
+	for _, op := range study.Operators(true) {
+		if op.Domain == domain {
+			return op, true
+		}
+	}
+	return routergeo.ASInfo{}, false
+}
+
+func share(counts map[string]int, cc string) float64 {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(counts[cc]) / float64(total)
+}
+
+func top(counts map[string]int, n int) string {
+	type kv struct {
+		cc string
+		n  int
+	}
+	var all []kv
+	for cc, c := range counts {
+		all = append(all, kv{cc, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].cc < all[j].cc
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	s := ""
+	for i, kv := range all {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%d", kv.cc, kv.n)
+	}
+	return s
+}

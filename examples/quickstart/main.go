@@ -1,0 +1,56 @@
+// Quickstart: build a study, look a few router addresses up in all four
+// simulated databases, compare against exact truth, and print each
+// database's headline accuracy — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routergeo"
+)
+
+func main() {
+	// Quick() builds a smaller world in well under a second. Drop it for
+	// the full experiment scale.
+	study, err := routergeo.New(routergeo.Quick(), routergeo.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := study.WorldStats()
+	fmt.Printf("world: %d ASes, %d routers, %d interfaces; ground truth: %d addresses\n\n",
+		stats.ASes, stats.Routers, stats.Interfaces, stats.GroundTruth)
+
+	// Look up the first few ground-truth addresses everywhere.
+	gt := study.GroundTruth()
+	for _, entry := range gt[:3] {
+		truth, _ := study.TrueLocation(entry.IP)
+		fmt.Printf("%s (truth: %s/%s, via %s)\n", entry.IP, truth.Country, truth.City, entry.Method)
+		for _, db := range study.Databases() {
+			loc, ok := study.Lookup(db, entry.IP)
+			switch {
+			case !ok:
+				fmt.Printf("  %-18s no record\n", db)
+			case loc.City != "":
+				fmt.Printf("  %-18s %s/%s\n", db, loc.Country, loc.City)
+			default:
+				fmt.Printf("  %-18s %s (country only)\n", db, loc.Country)
+			}
+		}
+		fmt.Println()
+	}
+
+	// The paper's headline comparison.
+	fmt.Println("accuracy over ground truth (city answers within 40 km):")
+	for _, db := range study.Databases() {
+		a := study.Accuracy(db)
+		fmt.Printf("  %-18s country %5.1f%%  city %5.1f%% (city coverage %5.1f%%)\n",
+			db, 100*a.CountryAccuracy, 100*a.CityAccuracy, 100*a.CityCoverage)
+	}
+
+	fmt.Println("\nrecommendations:")
+	for i, r := range study.Recommendations() {
+		fmt.Printf("  %d. %s\n", i+1, r)
+	}
+}

@@ -1,0 +1,54 @@
+// RemoteEval: the commercial databases the paper studies are usually
+// consumed as hosted lookup APIs, not local files. This example serves a
+// study's four databases over HTTP (the same handler cmd/geoserve runs),
+// points the API *client* at them, and re-runs the paper's accuracy
+// evaluation across the wire — demonstrating that the methodology in
+// internal/core is transport-agnostic: a Provider is a Provider.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"routergeo"
+	"routergeo/internal/core"
+	"routergeo/internal/experiments"
+	"routergeo/internal/geodb/httpapi"
+)
+
+func main() {
+	// Build the environment directly so we can reach the databases and
+	// targets; the public facade wraps this same machinery.
+	cfg := experiments.DefaultConfig()
+	cfg.World.ASes = 250
+	cfg.Atlas.Probes = 600
+	cfg.OneMsProbes = 900
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the four databases exactly as cmd/geoserve would.
+	srv := httptest.NewServer(httpapi.NewHandler(env.DBs))
+	defer srv.Close()
+	fmt.Printf("serving %d databases at %s\n\n", len(env.DBs), srv.URL)
+
+	fmt.Printf("%-18s %16s %16s %13s\n", "database", "country acc", "city acc", "transport")
+	for _, db := range env.DBs {
+		local := core.MeasureAccuracy(db, env.Targets)
+		remote := core.MeasureAccuracy(
+			&httpapi.Client{BaseURL: srv.URL, DB: db.Name()}, env.Targets)
+
+		fmt.Printf("%-18s %15.1f%% %15.1f%% %13s\n",
+			db.Name(), 100*local.CountryAccuracy(), 100*local.CityAccuracy(), "local")
+		fmt.Printf("%-18s %15.1f%% %15.1f%% %13s\n",
+			"", 100*remote.CountryAccuracy(), 100*remote.CityAccuracy(), "HTTP")
+		if local.CountryCorrect != remote.CountryCorrect || local.Within40Km != remote.Within40Km {
+			log.Fatalf("%s: remote evaluation diverged from local", db.Name())
+		}
+	}
+	fmt.Println("\nlocal and HTTP evaluations agree bit-for-bit; the core methodology only")
+	fmt.Println("sees the geodb.Provider interface, so hosted databases score identically.")
+	_ = routergeo.ExperimentIDs // the facade exposes the same machinery
+}

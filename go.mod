@@ -1,0 +1,3 @@
+module routergeo
+
+go 1.22

@@ -1,0 +1,105 @@
+package ark
+
+import (
+	"sort"
+
+	"routergeo/internal/ark/wartslite"
+	"routergeo/internal/ipx"
+	"routergeo/internal/netsim"
+)
+
+// AliasProber groups interface addresses into routers the way Mercator
+// (and the ITDK's iffinder stage) does: send a UDP probe to a high,
+// closed port on each address; the ICMP port-unreachable reply is sourced
+// from the router's *canonical* interface address, so two probed
+// addresses answering with the same source address are aliases.
+//
+// The simulation keeps the measurement semantics: Probe answers with the
+// router's first interface address, which is exactly the shared-source
+// behaviour the technique exploits. The inference itself never touches
+// router identities.
+type AliasProber struct {
+	w *netsim.World
+}
+
+// NewAliasProber returns a prober over the world.
+func NewAliasProber(w *netsim.World) *AliasProber {
+	return &AliasProber{w: w}
+}
+
+// Probe sends one alias probe to addr and returns the source address of
+// the reply. ok is false when the address does not answer (not a router
+// interface in this world).
+func (p *AliasProber) Probe(addr ipx.Addr) (reply ipx.Addr, ok bool) {
+	id, found := p.w.IfaceByAddr(addr)
+	if !found {
+		return 0, false
+	}
+	r := p.w.RouterOf(id)
+	// Routers source ICMP errors from their canonical (first) interface.
+	return p.w.Interfaces[r.Ifaces[0]].Addr, true
+}
+
+// AliasSet is one inferred router: the canonical reply address and every
+// probed address that answered with it.
+type AliasSet struct {
+	Canonical ipx.Addr
+	Members   []ipx.Addr
+}
+
+// ResolveAliases probes every address of a collection and groups them by
+// reply source, returning the inferred routers sorted by canonical
+// address. Unresponsive addresses are returned separately (real alias
+// resolution never reaches every interface either).
+func ResolveAliases(w *netsim.World, c *Collection) (sets []AliasSet, unresponsive []ipx.Addr) {
+	p := NewAliasProber(w)
+	byReply := map[ipx.Addr][]ipx.Addr{}
+	for _, id := range c.Interfaces {
+		addr := w.Interfaces[id].Addr
+		reply, ok := p.Probe(addr)
+		if !ok {
+			unresponsive = append(unresponsive, addr)
+			continue
+		}
+		byReply[reply] = append(byReply[reply], addr)
+	}
+	for canonical, members := range byReply {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		sets = append(sets, AliasSet{Canonical: canonical, Members: members})
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Canonical < sets[j].Canonical })
+	return sets, unresponsive
+}
+
+// ExtractFromTraces rebuilds an interface collection from archived traces
+// — the paper's actual workflow: its Ark-topo-router dataset was extracted
+// from one week of *stored* topology traces, not from a live collector.
+// Addresses that do not correspond to interfaces of this world are
+// ignored (a real extraction would keep them; a replay against the wrong
+// world should not invent interfaces).
+func ExtractFromTraces(w *netsim.World, traces []wartslite.Trace) *Collection {
+	c := &Collection{addrs: make(map[ipx.Addr]bool)}
+	seen := map[netsim.IfaceID]bool{}
+	monitors := map[string]bool{}
+	for _, t := range traces {
+		c.Traces++
+		if !monitors[t.Monitor] {
+			monitors[t.Monitor] = true
+			c.Monitors = append(c.Monitors, Monitor{Name: t.Monitor})
+		}
+		for _, h := range t.Hops {
+			id, ok := w.IfaceByAddr(h.Addr)
+			if !ok || seen[id] {
+				continue
+			}
+			seen[id] = true
+			c.Interfaces = append(c.Interfaces, id)
+			c.addrs[h.Addr] = true
+		}
+	}
+	sort.Slice(c.Interfaces, func(i, j int) bool {
+		return w.Interfaces[c.Interfaces[i]].Addr < w.Interfaces[c.Interfaces[j]].Addr
+	})
+	sort.Slice(c.Monitors, func(i, j int) bool { return c.Monitors[i].Name < c.Monitors[j].Name })
+	return c
+}

@@ -1,0 +1,145 @@
+package ark
+
+import (
+	"bytes"
+	"testing"
+
+	"routergeo/internal/ark/wartslite"
+	"routergeo/internal/ipx"
+	"routergeo/internal/netsim"
+	"routergeo/internal/traceroute"
+)
+
+func TestResolveAliasesMatchesTruth(t *testing.T) {
+	// The inferred alias sets must partition the collected addresses and
+	// agree exactly with the world's true router assignment — Mercator's
+	// shared-source-address trick is sound when every router answers from
+	// a canonical interface.
+	w, c := testSetup(t)
+	sets, unresponsive := ResolveAliases(w, c)
+	if len(unresponsive) != 0 {
+		t.Fatalf("%d collected addresses unresponsive; all collected addresses are real interfaces", len(unresponsive))
+	}
+	seen := map[ipx.Addr]bool{}
+	total := 0
+	for _, set := range sets {
+		if len(set.Members) == 0 {
+			t.Fatal("empty alias set")
+		}
+		var wantRouter netsim.RouterID = -1
+		for _, addr := range set.Members {
+			if seen[addr] {
+				t.Fatalf("address %v in two alias sets", addr)
+			}
+			seen[addr] = true
+			total++
+			id, ok := w.IfaceByAddr(addr)
+			if !ok {
+				t.Fatalf("member %v unknown", addr)
+			}
+			r := w.Interfaces[id].Router
+			if wantRouter < 0 {
+				wantRouter = r
+			} else if r != wantRouter {
+				t.Fatalf("alias set %v mixes routers %d and %d", set.Canonical, wantRouter, r)
+			}
+		}
+		// The canonical address must belong to the same router.
+		cid, ok := w.IfaceByAddr(set.Canonical)
+		if !ok || w.Interfaces[cid].Router != wantRouter {
+			t.Fatalf("canonical %v not on router %d", set.Canonical, wantRouter)
+		}
+	}
+	if total != len(c.Interfaces) {
+		t.Fatalf("alias sets cover %d of %d addresses", total, len(c.Interfaces))
+	}
+
+	// Completeness: inferred router count equals the truth-derived count
+	// for the observed interfaces.
+	truth := AliasSets(w, c)
+	if len(sets) != len(truth) {
+		t.Fatalf("inferred %d routers, truth has %d", len(sets), len(truth))
+	}
+}
+
+func TestAliasProbeUnresponsive(t *testing.T) {
+	w, _ := testSetup(t)
+	p := NewAliasProber(w)
+	if _, ok := p.Probe(ipx.MustParseAddr("203.0.113.1")); ok {
+		t.Error("non-interface address should not answer alias probes")
+	}
+}
+
+func TestAliasProbeDeterministicCanonical(t *testing.T) {
+	// Every interface of one router must yield the same reply address.
+	w, _ := testSetup(t)
+	p := NewAliasProber(w)
+	r := w.Routers[0]
+	var canonical ipx.Addr
+	for i, id := range r.Ifaces {
+		reply, ok := p.Probe(w.Interfaces[id].Addr)
+		if !ok {
+			t.Fatal("router interface unresponsive")
+		}
+		if i == 0 {
+			canonical = reply
+		} else if reply != canonical {
+			t.Fatalf("router answered from %v and %v", canonical, reply)
+		}
+	}
+}
+
+func TestExtractFromTracesMatchesLiveCollection(t *testing.T) {
+	// Archiving a sweep and re-extracting must yield exactly the interface
+	// set the live collector produced — the paper's stored-traces workflow.
+	w, _ := testSetup(t)
+	var archived []wartslite.Trace
+	cfg := Config{Monitors: 10, MonitorsPerTarget: 1, Cycles: 2, Seed: 9}
+	cfg.Sink = func(monitor string, dst ipx.Addr, hops []traceroute.Hop) {
+		tr := wartslite.Trace{Monitor: monitor, Dst: dst}
+		for _, h := range hops {
+			if h.Iface < 0 {
+				continue
+			}
+			tr.Hops = append(tr.Hops, wartslite.Hop{Addr: w.Interfaces[h.Iface].Addr, RTTMs: h.RTTMs})
+		}
+		archived = append(archived, tr)
+	}
+	live := Collect(w, cfg)
+
+	// Round-trip the archive through the binary container.
+	names := make([]string, len(live.Monitors))
+	for i, m := range live.Monitors {
+		names[i] = m.Name
+	}
+	var buf bytes.Buffer
+	ww, err := wartslite.NewWriter(&buf, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range archived {
+		if err := ww.WriteTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ww.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := wartslite.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay := ExtractFromTraces(w, back)
+	if replay.Traces != live.Traces {
+		t.Errorf("replayed %d traces, live ran %d", replay.Traces, live.Traces)
+	}
+	if len(replay.Interfaces) != len(live.Interfaces) {
+		t.Fatalf("replay found %d interfaces, live %d", len(replay.Interfaces), len(live.Interfaces))
+	}
+	for i := range replay.Interfaces {
+		if replay.Interfaces[i] != live.Interfaces[i] {
+			t.Fatalf("interface %d differs after replay", i)
+		}
+	}
+}

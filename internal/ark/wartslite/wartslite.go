@@ -1,0 +1,234 @@
+// Package wartslite is a compact binary container for traceroute results,
+// standing in for the warts format the CAIDA topology dataset ships in:
+// a monitor table up front, then a stream of per-trace records. It exists
+// so the Ark pipeline's raw output can be archived and re-processed, the
+// way the paper extracted its interface set from one week of stored
+// traces rather than from a live collector.
+//
+// Layout (integers little-endian):
+//
+//	magic     "WLT1"                  4 bytes
+//	monitors  u16 count, then per monitor: u8 len + name
+//	records   until EOF:
+//	    type    u8   (1 = trace)
+//	    monitor u16  (index into the table)
+//	    dst     u32
+//	    hops    u8 count, then per hop: u32 addr, f32 rttMs
+package wartslite
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"routergeo/internal/ipx"
+)
+
+const magic = "WLT1"
+
+// recordTrace is the only record type so far; the byte exists so the
+// format can grow (warts has many record types).
+const recordTrace = 1
+
+// Hop is one responding hop.
+type Hop struct {
+	Addr  ipx.Addr
+	RTTMs float64
+}
+
+// Trace is one traceroute: the monitor that ran it, the probed
+// destination, and the responding hops in order.
+type Trace struct {
+	Monitor string
+	Dst     ipx.Addr
+	Hops    []Hop
+}
+
+// Writer streams traces to an output.
+type Writer struct {
+	bw       *bufio.Writer
+	monitors map[string]uint16
+}
+
+// NewWriter writes the header for the given monitor table and returns a
+// Writer. Every trace's Monitor must be in the table.
+func NewWriter(w io.Writer, monitors []string) (*Writer, error) {
+	if len(monitors) > math.MaxUint16 {
+		return nil, fmt.Errorf("wartslite: %d monitors exceed the table limit", len(monitors))
+	}
+	out := &Writer{bw: bufio.NewWriter(w), monitors: make(map[string]uint16, len(monitors))}
+	if _, err := out.bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(out.bw, binary.LittleEndian, uint16(len(monitors))); err != nil {
+		return nil, err
+	}
+	for i, m := range monitors {
+		if len(m) > math.MaxUint8 {
+			return nil, fmt.Errorf("wartslite: monitor name %q too long", m)
+		}
+		if _, dup := out.monitors[m]; dup {
+			return nil, fmt.Errorf("wartslite: duplicate monitor %q", m)
+		}
+		out.monitors[m] = uint16(i)
+		if err := out.bw.WriteByte(byte(len(m))); err != nil {
+			return nil, err
+		}
+		if _, err := out.bw.WriteString(m); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteTrace appends one trace record.
+func (w *Writer) WriteTrace(t Trace) error {
+	idx, ok := w.monitors[t.Monitor]
+	if !ok {
+		return fmt.Errorf("wartslite: unknown monitor %q", t.Monitor)
+	}
+	if len(t.Hops) > math.MaxUint8 {
+		return fmt.Errorf("wartslite: %d hops exceed the record limit", len(t.Hops))
+	}
+	if err := w.bw.WriteByte(recordTrace); err != nil {
+		return err
+	}
+	if err := binary.Write(w.bw, binary.LittleEndian, idx); err != nil {
+		return err
+	}
+	if err := binary.Write(w.bw, binary.LittleEndian, uint32(t.Dst)); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte(byte(len(t.Hops))); err != nil {
+		return err
+	}
+	for _, h := range t.Hops {
+		if err := binary.Write(w.bw, binary.LittleEndian, uint32(h.Addr)); err != nil {
+			return err
+		}
+		if err := binary.Write(w.bw, binary.LittleEndian, float32(h.RTTMs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the writer's buffer; call once after the last trace.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams traces back from input.
+type Reader struct {
+	br       *bufio.Reader
+	monitors []string
+}
+
+// NewReader parses the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("wartslite: header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("wartslite: bad magic %q", head)
+	}
+	var count uint16
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	monitors := make([]string, 0, count)
+	for i := 0; i < int(count); i++ {
+		n, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		monitors = append(monitors, string(buf))
+	}
+	return &Reader{br: br, monitors: monitors}, nil
+}
+
+// Monitors returns the header's monitor table.
+func (r *Reader) Monitors() []string {
+	out := make([]string, len(r.monitors))
+	copy(out, r.monitors)
+	return out
+}
+
+// Next returns the next trace, or io.EOF cleanly at end of stream.
+func (r *Reader) Next() (Trace, error) {
+	typ, err := r.br.ReadByte()
+	if err == io.EOF {
+		return Trace{}, io.EOF
+	}
+	if err != nil {
+		return Trace{}, err
+	}
+	if typ != recordTrace {
+		return Trace{}, fmt.Errorf("wartslite: unknown record type %d", typ)
+	}
+	var idx uint16
+	if err := binary.Read(r.br, binary.LittleEndian, &idx); err != nil {
+		return Trace{}, unexpect(err)
+	}
+	if int(idx) >= len(r.monitors) {
+		return Trace{}, fmt.Errorf("wartslite: monitor index %d out of table", idx)
+	}
+	var dst uint32
+	if err := binary.Read(r.br, binary.LittleEndian, &dst); err != nil {
+		return Trace{}, unexpect(err)
+	}
+	hopCount, err := r.br.ReadByte()
+	if err != nil {
+		return Trace{}, unexpect(err)
+	}
+	t := Trace{Monitor: r.monitors[idx], Dst: ipx.Addr(dst), Hops: make([]Hop, 0, hopCount)}
+	for i := 0; i < int(hopCount); i++ {
+		var addr uint32
+		if err := binary.Read(r.br, binary.LittleEndian, &addr); err != nil {
+			return Trace{}, unexpect(err)
+		}
+		var rtt float32
+		if err := binary.Read(r.br, binary.LittleEndian, &rtt); err != nil {
+			return Trace{}, unexpect(err)
+		}
+		if math.IsNaN(float64(rtt)) || rtt < 0 {
+			return Trace{}, fmt.Errorf("wartslite: invalid hop RTT %v", rtt)
+		}
+		t.Hops = append(t.Hops, Hop{Addr: ipx.Addr(addr), RTTMs: float64(rtt)})
+	}
+	return t, nil
+}
+
+// unexpect turns a mid-record EOF into an explicit truncation error so
+// callers can distinguish a clean end of stream from a cut-off file.
+func unexpect(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadAll drains a reader into a slice.
+func ReadAll(r io.Reader) ([]Trace, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Trace
+	for {
+		t, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}

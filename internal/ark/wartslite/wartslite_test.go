@@ -1,0 +1,184 @@
+package wartslite
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"routergeo/internal/ipx"
+)
+
+func sampleTraces(n int, seed int64) []Trace {
+	rng := rand.New(rand.NewSource(seed))
+	monitors := []string{"ark-us-nyc", "ark-de-fra", "ark-jp-tyo"}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		t := Trace{
+			Monitor: monitors[rng.Intn(len(monitors))],
+			Dst:     ipx.Addr(rng.Uint32()),
+		}
+		for h := 0; h < 1+rng.Intn(12); h++ {
+			t.Hops = append(t.Hops, Hop{
+				Addr:  ipx.Addr(rng.Uint32()),
+				RTTMs: rng.Float64() * 300,
+			})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	traces := sampleTraces(200, 1)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []string{"ark-us-nyc", "ark-de-fra", "ark-jp-tyo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if err := w.WriteTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(traces) {
+		t.Fatalf("read %d traces, wrote %d", len(back), len(traces))
+	}
+	for i := range traces {
+		if back[i].Monitor != traces[i].Monitor || back[i].Dst != traces[i].Dst ||
+			len(back[i].Hops) != len(traces[i].Hops) {
+			t.Fatalf("trace %d mismatched: %+v vs %+v", i, back[i], traces[i])
+		}
+		for j := range traces[i].Hops {
+			if back[i].Hops[j].Addr != traces[i].Hops[j].Addr {
+				t.Fatalf("trace %d hop %d address mismatch", i, j)
+			}
+			// RTTs travel as float32.
+			if d := back[i].Hops[j].RTTMs - traces[i].Hops[j].RTTMs; d > 0.001 || d < -0.001 {
+				t.Fatalf("trace %d hop %d RTT drifted by %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestMonitorTable(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, []string{"a", "a"}); err == nil {
+		t.Error("duplicate monitors accepted")
+	}
+	buf.Reset()
+	w, err := NewWriter(&buf, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(Trace{Monitor: "c", Dst: 1}); err == nil {
+		t.Error("unknown monitor accepted")
+	}
+	if err := w.WriteTrace(Trace{Monitor: "b", Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Monitors()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Monitors = %v", got)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	traces := sampleTraces(5, 2)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, []string{"ark-us-nyc", "ark-de-fra", "ark-jp-tyo"})
+	for _, tr := range traces {
+		if err := w.WriteTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Chop mid-record: everything but the last 3 bytes.
+	if _, err := ReadAll(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated stream read without error")
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX\x00\x00"),
+		"cut table": []byte("WLT1\x02\x00\x05ab"),
+	} {
+		if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Unknown record type after a valid header.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, []string{"m"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(99)
+	if _, err := ReadAll(&buf); err == nil {
+		t.Error("unknown record type accepted")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []string{"m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty stream Next = %v, want io.EOF", err)
+	}
+}
+
+// FuzzReader hardens the parser against arbitrary bytes.
+func FuzzReader(f *testing.F) {
+	traces := sampleTraces(3, 3)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, []string{"ark-us-nyc", "ark-de-fra", "ark-jp-tyo"})
+	for _, tr := range traces {
+		_ = w.WriteTrace(tr)
+	}
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("WLT1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, tr := range got {
+			if tr.Monitor == "" && len(tr.Hops) == 0 && tr.Dst == 0 {
+				continue
+			}
+		}
+	})
+}

@@ -1,0 +1,350 @@
+// Package atlas reproduces the RIPE Atlas substrate of the paper's
+// RTT-proximity ground truth (§2.3.2): a crowdsourced fleet of probes
+// whose *reported* locations are mostly — but not always — correct, and
+// the built-in traceroute measurements every probe runs toward a small set
+// of well-known targets (the root-server analogues).
+//
+// The location-error model plants exactly the two failure modes the
+// paper's §3.2 filters hunt: probes parked on default country coordinates,
+// and probes that moved without their public location being updated.
+// Measurement results round-trip through the same JSON shape RIPE Atlas
+// publishes (probe id, destination, per-hop addresses and RTT triples).
+package atlas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"routergeo/internal/gazetteer"
+	"routergeo/internal/geo"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rtt"
+	"routergeo/internal/traceroute"
+)
+
+// Config parameterizes fleet deployment.
+type Config struct {
+	// Probes is the fleet size contributing built-in measurements.
+	Probes int
+	// Targets is the number of built-in traceroute destinations (13 root
+	// servers in the real system).
+	Targets int
+	// RegionWeights places probes per registry region; the default mirrors
+	// Atlas's strong European skew, which is what makes the paper's
+	// RTT-proximity ground truth RIPE-heavy (Table 1).
+	RegionWeights map[geo.RIR]float64
+	// CentroidFrac of probes report default country coordinates
+	// (19 of 1,387 probes in the paper's data).
+	CentroidFrac float64
+	// MovedFrac of probes physically moved and report a stale city.
+	MovedFrac float64
+	// ReportJitterKm bounds how far an honest probe's reported point sits
+	// from its city centre (hosts pin their city, not their house).
+	ReportJitterKm float64
+	// DatacenterFrac of probes are hosted in facilities (Atlas anchors and
+	// probes in racks): they attach directly to a transit router with a
+	// very fast access link. These probes are what makes the paper's
+	// RTT-proximity dataset transit-heavy (74.5% transit, §2.3.3).
+	DatacenterFrac float64
+	// Seed drives placement and sampling.
+	Seed int64
+}
+
+// DefaultConfig deploys a fleet proportioned like the paper's.
+func DefaultConfig() Config {
+	return Config{
+		Probes:  1400,
+		Targets: 13,
+		RegionWeights: map[geo.RIR]float64{
+			geo.RIPENCC: 0.68,
+			geo.ARIN:    0.14,
+			geo.APNIC:   0.09,
+			geo.AFRINIC: 0.045,
+			geo.LACNIC:  0.045,
+		},
+		CentroidFrac:   0.014,
+		MovedFrac:      0.012,
+		ReportJitterKm: 2,
+		DatacenterFrac: 0.38,
+		Seed:           1,
+	}
+}
+
+// Probe is one Atlas probe.
+type Probe struct {
+	ID int
+	// TrueCity and TrueCoord are where the probe actually is.
+	TrueCity  gazetteer.City
+	TrueCoord geo.Coordinate
+	// Reported is the crowdsourced public location — what the ground-truth
+	// method has to trust.
+	Reported geo.Coordinate
+	// ReportedCountry is the ISO2 code of the public location.
+	ReportedCountry string
+	// Mislocated marks probes whose public location is materially wrong
+	// (internal truth; the §3.2 filters must find these on their own).
+	Mislocated bool
+	// Router is the first-hop attachment point.
+	Router netsim.RouterID
+	// LastMileMs is the probe's access-link RTT contribution.
+	LastMileMs float64
+	// Datacenter marks facility-hosted probes, which are racked next to
+	// their first router. Residential probes instead sit behind a home
+	// gateway whose private address never appears in public datasets, so
+	// their first *public* hop is hop 2 — the reason the paper finds >80%
+	// of RTT-proximate addresses at least two hops from their probes.
+	Datacenter bool
+}
+
+// Fleet is a deployed probe population plus its built-in targets.
+type Fleet struct {
+	World   *netsim.World
+	Probes  []Probe
+	Targets []netsim.RouterID
+}
+
+// Deploy places a fleet. Deterministic for a given cfg.Seed.
+func Deploy(w *netsim.World, cfg Config) *Fleet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lastMile := rtt.DefaultLastMile()
+
+	f := &Fleet{World: w}
+	for id := 0; id < cfg.Probes; id++ {
+		rir := sampleRIR(rng, cfg.RegionWeights)
+		country := w.Gaz.SampleCountry(rng, rir)
+		city := w.Gaz.SampleCity(rng, country.ISO2)
+		trueCoord := city.Coord.Offset(rng.Float64()*12, rng.Float64()*360)
+
+		p := Probe{
+			ID:              id,
+			TrueCity:        city,
+			TrueCoord:       trueCoord,
+			Reported:        city.Coord.Offset(rng.Float64()*cfg.ReportJitterKm, rng.Float64()*360),
+			ReportedCountry: city.Country,
+			LastMileMs:      lastMile.Sample(rng),
+		}
+		switch x := rng.Float64(); {
+		case x < cfg.CentroidFrac:
+			// Default country coordinates: the host never set a location.
+			p.Reported = country.Centroid.Offset(rng.Float64()*1, rng.Float64()*360)
+			p.Mislocated = true
+		case x < cfg.CentroidFrac+cfg.MovedFrac:
+			// The probe moved; its public location is its previous city.
+			prev := w.Gaz.SampleCity(rng, "")
+			for prev.Coord.DistanceKm(city.Coord) < 200 {
+				prev = w.Gaz.SampleCity(rng, "")
+			}
+			p.Reported = prev.Coord.Offset(rng.Float64()*cfg.ReportJitterKm, rng.Float64()*360)
+			p.ReportedCountry = prev.Country
+			p.Mislocated = true
+		}
+		datacenter := rng.Float64() < cfg.DatacenterFrac
+		if datacenter {
+			// Facility-hosted probe: racked next to a transit router, with a
+			// LAN-grade access link. Relocate the probe's true position to
+			// the facility.
+			if r, ok := w.NearestRouterFunc(trueCoord, func(id netsim.RouterID) bool {
+				rt := &w.Routers[id]
+				as := &w.ASes[rt.AS]
+				c := as.PoPs[rt.PoP].City
+				// Facilities are metro-local: only rack the probe if its own
+				// city has a transit PoP, else it stays residential.
+				return as.Transit && c.Country == city.Country && c.Name == city.Name
+			}); ok {
+				p.Router = r
+				p.TrueCoord = w.Routers[r].Coord.Offset(0.05+rng.Float64()*0.2, rng.Float64()*360)
+				p.LastMileMs = 0.04 + rng.Float64()*0.12
+				p.Datacenter = true
+				f.Probes = append(f.Probes, p)
+				continue
+			}
+		}
+		// Probes sit behind access ISPs: attach to the nearest *stub* router
+		// in the probe's country when one is close, falling back to any
+		// nearby router. This puts a real access network between the probe
+		// and the transit core, as with real Atlas probes (most proximate
+		// hops are then ≥2 hops out, §2.3.2).
+		r, ok := w.NearestRouterFunc(trueCoord, func(id netsim.RouterID) bool {
+			rt := &w.Routers[id]
+			as := &w.ASes[rt.AS]
+			return !as.Transit && as.PoPs[rt.PoP].City.Country == city.Country
+		})
+		if ok {
+			// Attach at the access edge of that PoP: the last router of the
+			// stub's aggregation chain, so first hops climb the metro.
+			rt := &w.Routers[r]
+			pop := w.ASes[rt.AS].PoPs[rt.PoP]
+			r = pop.Routers[len(pop.Routers)-1]
+		} else {
+			r, ok = w.NearestRouter(trueCoord, city.Country)
+		}
+		if alt, altOK := w.NearestRouter(trueCoord, city.Country); ok && altOK {
+			// If the nearest stub is much farther than the nearest router
+			// overall, the probe's host is plugged in elsewhere — take the
+			// closer attachment.
+			if w.Routers[alt].Coord.DistanceKm(trueCoord)+60 < w.Routers[r].Coord.DistanceKm(trueCoord) {
+				r = alt
+			}
+		}
+		if ok {
+			p.Router = r
+			// The access link must respect geography: a probe whose nearest
+			// router is hundreds of kilometres away cannot see it in under
+			// a millisecond, or the 0.5 ms proximity rule would be unsound.
+			p.LastMileMs += rtt.DefaultModel().PropagationMs(trueCoord, w.Routers[r].Coord, 0)
+		}
+		f.Probes = append(f.Probes, p)
+	}
+	f.Targets = pickTargets(w, rng, cfg.Targets)
+	return f
+}
+
+// pickTargets selects built-in destinations: transit core routers in
+// distinct cities, like the anycast root-server instances the real
+// built-ins trace toward.
+func pickTargets(w *netsim.World, rng *rand.Rand, n int) []netsim.RouterID {
+	var candidates []netsim.RouterID
+	for i := range w.Routers {
+		if w.ASes[w.Routers[i].AS].Transit {
+			candidates = append(candidates, w.Routers[i].ID)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var out []netsim.RouterID
+	usedCity := map[string]bool{}
+	for _, r := range candidates {
+		if len(out) == n {
+			break
+		}
+		city := w.ASes[w.Routers[r].AS].PoPs[w.Routers[r].PoP].City
+		key := city.Country + "/" + city.Name
+		if usedCity[key] {
+			continue
+		}
+		usedCity[key] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// HopResult is one traceroute hop in the measurement wire format.
+type HopResult struct {
+	Hop  int       `json:"hop"`
+	From string    `json:"from"`
+	RTTs []float64 `json:"rtt"`
+}
+
+// Measurement is one built-in traceroute result.
+type Measurement struct {
+	ProbeID int         `json:"prb_id"`
+	Type    string      `json:"type"`
+	DstAddr string      `json:"dst_addr"`
+	Result  []HopResult `json:"result"`
+}
+
+// MinRTT returns the smallest of a hop's RTT samples, the value the
+// proximity rule uses.
+func (h HopResult) MinRTT() float64 {
+	min := h.RTTs[0]
+	for _, v := range h.RTTs[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// RunBuiltins runs every probe's built-in traceroutes to every target and
+// returns the results in wire form. One shortest-path tree per *target*
+// serves the entire fleet: links are symmetric, so the tree rooted at the
+// target is every probe's reverse-path table.
+func (f *Fleet) RunBuiltins(seed int64) []Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	eng := traceroute.New(f.World)
+	model := eng.Model
+
+	var out []Measurement
+	for _, target := range f.Targets {
+		tree := eng.BuildTree(target)
+		dstAddr := f.World.Interfaces[f.World.Routers[target].Ifaces[0]].Addr.String()
+		for pi := range f.Probes {
+			p := &f.Probes[pi]
+			if !tree.Reachable(p.Router) {
+				continue
+			}
+			m := Measurement{ProbeID: p.ID, Type: "traceroute", DstAddr: dstAddr}
+			total := tree.DistMs(p.Router)
+			// Residential probes burn hop 1 on their home gateway, whose
+			// private address is invisible to public datasets.
+			hop := 1
+			if !p.Datacenter {
+				hop = 2
+			}
+			// Forward path: walk Parent pointers from the probe's router to
+			// the tree root (the target).
+			path := []netsim.RouterID{p.Router}
+			for r := p.Router; r != target; {
+				r = tree.Parent(r)
+				path = append(path, r)
+			}
+			for j, r := range path {
+				var ifc netsim.IfaceID
+				if j == 0 {
+					ifc = f.World.Routers[r].Ifaces[0]
+				} else {
+					// tree.ParentIface(path[j-1]) is the interface at
+					// path[j-1] on the link to r; its peer is r's ingress.
+					ifc = f.World.PeerIface(tree.ParentIface(path[j-1]))
+				}
+				prop := p.LastMileMs + 2*(total-tree.DistMs(r)) + float64(j)*model.PerHopMs
+				rtts := make([]float64, 3)
+				for k := range rtts {
+					rtts[k] = prop + rng.ExpFloat64()*model.QueueMeanMs
+				}
+				m.Result = append(m.Result, HopResult{
+					Hop:  hop,
+					From: f.World.Interfaces[ifc].Addr.String(),
+					RTTs: rtts,
+				})
+				hop++
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// EncodeJSON writes measurements as a JSON array, the format RIPE Atlas
+// serves its results in.
+func EncodeJSON(w io.Writer, ms []Measurement) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ms)
+}
+
+// DecodeJSON reads a measurement array written by EncodeJSON.
+func DecodeJSON(r io.Reader) ([]Measurement, error) {
+	var ms []Measurement
+	if err := json.NewDecoder(r).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("atlas: decode: %w", err)
+	}
+	return ms, nil
+}
+
+func sampleRIR(rng *rand.Rand, weights map[geo.RIR]float64) geo.RIR {
+	total := 0.0
+	for _, r := range geo.RIRs {
+		total += weights[r]
+	}
+	x := rng.Float64() * total
+	for _, r := range geo.RIRs {
+		x -= weights[r]
+		if x < 0 {
+			return r
+		}
+	}
+	return geo.RIPENCC
+}

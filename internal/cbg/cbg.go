@@ -1,0 +1,153 @@
+// Package cbg implements constraint-based geolocation (Gueye et al.,
+// IEEE/ACM ToN 2006) — the delay-measurement alternative to databases
+// that the paper's introduction points at ([14] in its bibliography):
+// every RTT measurement from a landmark with a known position bounds the
+// target inside a disk, and the target is estimated inside the
+// intersection of all disks.
+//
+// The reproduction uses it two ways: as an extension experiment comparing
+// measurement-based router geolocation against the four databases, and as
+// an ablation of the paper's 0.5 ms proximity rule (which is CBG with a
+// single, very tight constraint).
+package cbg
+
+import (
+	"math"
+	"sort"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/rtt"
+)
+
+// Observation is one landmark measurement: a known vantage position and
+// the minimum RTT observed from it to the target.
+type Observation struct {
+	From  geo.Coordinate
+	RTTMs float64
+}
+
+// RadiusKm returns the disk radius this observation constrains the target
+// to: the distance light in fibre covers in half the RTT.
+func (o Observation) RadiusKm() float64 { return rtt.MaxDistanceKmForRTT(o.RTTMs) }
+
+// Result is a CBG estimate.
+type Result struct {
+	// Coord is the estimated position.
+	Coord geo.Coordinate
+	// Feasible reports whether a point satisfying every constraint was
+	// found. Infeasible systems (over-tight constraints from queueing
+	// noise) still yield a best-effort Coord.
+	Feasible bool
+	// TightestKm is the smallest constraint radius — a bound on the
+	// estimate's uncertainty when the system is feasible.
+	TightestKm float64
+	// Landmarks is the number of observations used.
+	Landmarks int
+}
+
+// maxIterations bounds the cyclic-projection solver. Convergence is
+// geometric for intersecting disks; the bound is far beyond practical
+// need and only matters for infeasible systems.
+const maxIterations = 256
+
+// Estimate solves the constraint system by cyclic projection: starting at
+// the centre of the tightest disk, repeatedly project the point onto the
+// most-violated constraint. For a non-empty intersection this converges
+// to a feasible point; for an empty one it settles between the
+// conflicting disks. ok is false when no observations are given.
+func Estimate(obs []Observation) (Result, bool) {
+	if len(obs) == 0 {
+		return Result{}, false
+	}
+	// Sort by radius so the iteration starts at the tightest constraint
+	// and the result is deterministic regardless of input order.
+	sorted := make([]Observation, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool {
+		ri, rj := sorted[i].RadiusKm(), sorted[j].RadiusKm()
+		if ri != rj {
+			return ri < rj
+		}
+		if sorted[i].From.Lat != sorted[j].From.Lat {
+			return sorted[i].From.Lat < sorted[j].From.Lat
+		}
+		return sorted[i].From.Lon < sorted[j].From.Lon
+	})
+
+	p := sorted[0].From
+	res := Result{TightestKm: sorted[0].RadiusKm(), Landmarks: len(obs)}
+
+	for iter := 0; iter < maxIterations; iter++ {
+		worst := -1
+		worstViolation := 0.01 // tolerance (km): absorb spherical numeric error
+		for i, o := range sorted {
+			v := p.DistanceKm(o.From) - o.RadiusKm()
+			if v > worstViolation {
+				worst, worstViolation = i, v
+			}
+		}
+		if worst < 0 {
+			res.Coord = p
+			res.Feasible = true
+			return res, true
+		}
+		// Project p onto the violated disk: move it along the great circle
+		// toward the landmark until it sits on the boundary.
+		o := sorted[worst]
+		d := p.DistanceKm(o.From)
+		// Walk from the landmark toward p, stopping just inside the radius
+		// so numeric error cannot leave the point marginally outside.
+		frac := (o.RadiusKm() * 0.999) / d
+		p = interpolate(o.From, p, frac)
+	}
+	res.Coord = p
+	res.Feasible = false
+	return res, true
+}
+
+// interpolate returns the point a fraction f of the way from a to b along
+// the great circle (f in [0,1]).
+func interpolate(a, b geo.Coordinate, f float64) geo.Coordinate {
+	if f <= 0 {
+		return a
+	}
+	if f >= 1 {
+		return b
+	}
+	// Spherical linear interpolation via vectors.
+	ax, ay, az := toVec(a)
+	bx, by, bz := toVec(b)
+	dot := ax*bx + ay*by + az*bz
+	if dot > 1 {
+		dot = 1
+	} else if dot < -1 {
+		dot = -1
+	}
+	omega := math.Acos(dot)
+	if omega < 1e-12 {
+		return a
+	}
+	sinO := math.Sin(omega)
+	wa := math.Sin((1-f)*omega) / sinO
+	wb := math.Sin(f*omega) / sinO
+	x, y, z := wa*ax+wb*bx, wa*ay+wb*by, wa*az+wb*bz
+	return fromVec(x, y, z)
+}
+
+func toVec(c geo.Coordinate) (x, y, z float64) {
+	lat := c.Lat * math.Pi / 180
+	lon := c.Lon * math.Pi / 180
+	return math.Cos(lat) * math.Cos(lon), math.Cos(lat) * math.Sin(lon), math.Sin(lat)
+}
+
+func fromVec(x, y, z float64) geo.Coordinate {
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if norm == 0 {
+		return geo.Coordinate{}
+	}
+	x, y, z = x/norm, y/norm, z/norm
+	return geo.Coordinate{
+		Lat: math.Asin(z) * 180 / math.Pi,
+		Lon: math.Atan2(y, x) * 180 / math.Pi,
+	}
+}

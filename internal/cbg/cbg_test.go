@@ -1,0 +1,191 @@
+package cbg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/rtt"
+)
+
+func coord(lat, lon float64) geo.Coordinate { return geo.Coordinate{Lat: lat, Lon: lon} }
+
+// landmarksAround fabricates observations for a target at truth, from
+// landmarks at the given coordinates, with the given RTT inflation added
+// on top of the physical floor.
+func landmarksAround(truth geo.Coordinate, landmarks []geo.Coordinate, inflationMs float64) []Observation {
+	var out []Observation
+	for _, lm := range landmarks {
+		out = append(out, Observation{From: lm, RTTMs: rtt.MinRTTMs(lm, truth) + inflationMs})
+	}
+	return out
+}
+
+func TestEstimateEmptyInput(t *testing.T) {
+	if _, ok := Estimate(nil); ok {
+		t.Error("no observations should yield no estimate")
+	}
+}
+
+func TestEstimateSingleTightConstraint(t *testing.T) {
+	// One 0.5 ms observation constrains the target within 50 km of the
+	// landmark — the paper's proximity rule as a degenerate CBG.
+	lm := coord(48.8566, 2.3522) // Paris
+	res, ok := Estimate([]Observation{{From: lm, RTTMs: 0.5}})
+	if !ok || !res.Feasible {
+		t.Fatalf("single constraint should be feasible: %+v", res)
+	}
+	if res.TightestKm != 50 {
+		t.Errorf("TightestKm = %v, want 50", res.TightestKm)
+	}
+	if d := res.Coord.DistanceKm(lm); d > 50 {
+		t.Errorf("estimate %v is %.1f km from the only landmark", res.Coord, d)
+	}
+}
+
+func TestEstimateTriangulates(t *testing.T) {
+	// Three European landmarks with light inflation should pin a Frankfurt
+	// target within ~the inflation distance.
+	truth := coord(50.11, 8.68) // Frankfurt
+	landmarks := []geo.Coordinate{
+		coord(48.8566, 2.3522), // Paris
+		coord(52.52, 13.405),   // Berlin
+		coord(45.4642, 9.19),   // Milan
+	}
+	obs := landmarksAround(truth, landmarks, 0.8) // 0.8 ms extra = 80 km slack
+	res, ok := Estimate(obs)
+	if !ok || !res.Feasible {
+		t.Fatalf("well-posed system infeasible: %+v", res)
+	}
+	if d := res.Coord.DistanceKm(truth); d > 150 {
+		t.Errorf("estimate %.1f km from truth, want < 150", d)
+	}
+	// Every constraint must actually be satisfied.
+	for _, o := range obs {
+		if res.Coord.DistanceKm(o.From) > o.RadiusKm()+0.01 {
+			t.Errorf("constraint violated by %.2f km",
+				res.Coord.DistanceKm(o.From)-o.RadiusKm())
+		}
+	}
+}
+
+func TestEstimateAccuracyImprovesWithTighterConstraints(t *testing.T) {
+	truth := coord(40.7128, -74.006) // NYC
+	landmarks := []geo.Coordinate{
+		coord(42.3601, -71.0589), // Boston
+		coord(39.9526, -75.1652), // Philadelphia
+		coord(38.9072, -77.0369), // Washington
+	}
+	loose, _ := Estimate(landmarksAround(truth, landmarks, 5))
+	tight, _ := Estimate(landmarksAround(truth, landmarks, 0.3))
+	if tight.Coord.DistanceKm(truth) > loose.Coord.DistanceKm(truth)+30 {
+		t.Errorf("tighter constraints gave a worse estimate: %.1f vs %.1f km",
+			tight.Coord.DistanceKm(truth), loose.Coord.DistanceKm(truth))
+	}
+	if tight.Coord.DistanceKm(truth) > 80 {
+		t.Errorf("tight estimate %.1f km off", tight.Coord.DistanceKm(truth))
+	}
+}
+
+func TestEstimateInfeasibleStillAnswers(t *testing.T) {
+	// Contradictory constraints: two far-apart landmarks both claiming the
+	// target within 10 km. The solver must terminate, flag infeasibility,
+	// and return something between them.
+	a := coord(0, 0)
+	b := coord(0, 40)
+	res, ok := Estimate([]Observation{
+		{From: a, RTTMs: 0.1},
+		{From: b, RTTMs: 0.1},
+	})
+	if !ok {
+		t.Fatal("estimate should exist")
+	}
+	if res.Feasible {
+		t.Error("contradictory system flagged feasible")
+	}
+	if !res.Coord.Valid() {
+		t.Error("invalid coordinate returned")
+	}
+}
+
+func TestEstimateDeterministicUnderPermutation(t *testing.T) {
+	truth := coord(51.5, -0.12)
+	rng := rand.New(rand.NewSource(1))
+	landmarks := []geo.Coordinate{
+		coord(48.85, 2.35), coord(52.52, 13.4), coord(53.48, -2.24), coord(50.85, 4.35),
+	}
+	obs := landmarksAround(truth, landmarks, 1.0)
+	base, _ := Estimate(obs)
+	for i := 0; i < 10; i++ {
+		shuffled := make([]Observation, len(obs))
+		copy(shuffled, obs)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		got, _ := Estimate(shuffled)
+		if got.Coord != base.Coord || got.Feasible != base.Feasible {
+			t.Fatalf("estimate depends on observation order: %+v vs %+v", got, base)
+		}
+	}
+}
+
+func TestEstimateSoundnessProperty(t *testing.T) {
+	// For random targets and landmark sets with honest (floor + positive
+	// inflation) RTTs, the system is feasible and the estimate satisfies
+	// every constraint.
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		truth := coord(rng.Float64()*140-70, rng.Float64()*360-180)
+		n := 2 + rng.Intn(5)
+		var obs []Observation
+		for i := 0; i < n; i++ {
+			lm := truth.Offset(rng.Float64()*2000, rng.Float64()*360)
+			obs = append(obs, Observation{
+				From:  lm,
+				RTTMs: rtt.MinRTTMs(lm, truth) + rng.Float64()*3,
+			})
+		}
+		res, ok := Estimate(obs)
+		if !ok || !res.Feasible {
+			return false
+		}
+		for _, o := range obs {
+			if res.Coord.DistanceKm(o.From) > o.RadiusKm()+0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	a, b := coord(0, 0), coord(0, 90)
+	mid := interpolate(a, b, 0.5)
+	if math.Abs(mid.Lon-45) > 0.01 || math.Abs(mid.Lat) > 0.01 {
+		t.Errorf("midpoint = %v, want 0,45", mid)
+	}
+	if interpolate(a, b, 0) != a || interpolate(a, b, 1) != b {
+		t.Error("interpolation endpoints wrong")
+	}
+	// Degenerate: identical points.
+	same := interpolate(a, a, 0.5)
+	if same.DistanceKm(a) > 0.01 {
+		t.Errorf("identical-point interpolation moved: %v", same)
+	}
+}
+
+func TestVecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		c := coord(rng.Float64()*178-89, rng.Float64()*358-179)
+		x, y, z := toVec(c)
+		back := fromVec(x, y, z)
+		return back.DistanceKm(c) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

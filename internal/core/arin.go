@@ -1,0 +1,86 @@
+package core
+
+import (
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/stats"
+)
+
+// ARINCaseStudy reproduces §5.2.3's drill-down into why city-level
+// accuracy collapses for ARIN addresses.
+type ARINCaseStudy struct {
+	// ARINTargets of the ground truth fall in ARIN space; ARINShare is
+	// their fraction of the whole set (the paper's 64%).
+	ARINTargets int
+	ARINShare   float64
+
+	// NonUS counts ARIN targets actually located outside the US;
+	// NonUSPlacedInUS of them are geolocated to the US anyway (70% for
+	// MaxMind-Paid). NonUSPlacedInUSWithCity of those carry city answers,
+	// and NonUSCityOver1000Km of the city answers are >1000 km off.
+	NonUS               int
+	NonUSPlacedInUS     int
+	NonUSPlacedInUSCity int
+	NonUSCityOver1000Km int
+
+	// USARINCityAnswered counts US-located ARIN targets with city answers;
+	// USARINCityWrong of them miss the 40 km range (58.2% in the paper).
+	// Of the wrong ones, WrongBlockLevel came from /24-or-coarser records
+	// (~91%); of the correct ones, CorrectBlockLevel did (~78%).
+	USARINCityAnswered int
+	USARINCityWrong    int
+	WrongBlockLevel    int
+	CorrectBlockLevel  int
+}
+
+// WrongBlockShare and CorrectBlockShare return the block-level fractions.
+func (s ARINCaseStudy) WrongBlockShare() float64 {
+	return stats.Fraction(s.WrongBlockLevel, s.USARINCityWrong)
+}
+func (s ARINCaseStudy) CorrectBlockShare() float64 {
+	return stats.Fraction(s.CorrectBlockLevel, s.USARINCityAnswered-s.USARINCityWrong)
+}
+
+// RunARINCaseStudy evaluates one database (the paper uses MaxMind-Paid).
+func RunARINCaseStudy(db geodb.Provider, targets []Target) ARINCaseStudy {
+	var s ARINCaseStudy
+	for _, t := range targets {
+		if t.RIR != geo.ARIN {
+			continue
+		}
+		s.ARINTargets++
+		rec, ok := db.Lookup(t.Addr)
+
+		if t.Country != "US" {
+			s.NonUS++
+			if ok && rec.HasCountry() && rec.Country == "US" {
+				s.NonUSPlacedInUS++
+				if rec.HasCity() {
+					s.NonUSPlacedInUSCity++
+					if rec.Coord.DistanceKm(t.Truth) > 1000 {
+						s.NonUSCityOver1000Km++
+					}
+				}
+			}
+			continue
+		}
+
+		// US-located ARIN targets with city answers.
+		if ok && rec.HasCity() {
+			s.USARINCityAnswered++
+			block := rec.BlockLevel()
+			if rec.Coord.DistanceKm(t.Truth) > CityRangeKm {
+				s.USARINCityWrong++
+				if block {
+					s.WrongBlockLevel++
+				}
+			} else if block {
+				s.CorrectBlockLevel++
+			}
+		}
+	}
+	if len(targets) > 0 {
+		s.ARINShare = float64(s.ARINTargets) / float64(len(targets))
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+	"routergeo/internal/stats"
+)
+
+// CountryAgreement counts pairwise country-level agreement over the
+// addresses both databases answer (§5.1).
+func CountryAgreement(a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
+	for _, addr := range addrs {
+		ra, okA := a.Lookup(addr)
+		rb, okB := b.Lookup(addr)
+		if !okA || !okB || !ra.HasCountry() || !rb.HasCountry() {
+			continue
+		}
+		both++
+		if ra.Country == rb.Country {
+			agree++
+		}
+	}
+	return agree, both
+}
+
+// CountryAgreementAll counts addresses on which *every* database agrees at
+// country level (the paper's 95.8% over 1.64M addresses).
+func CountryAgreementAll(dbs []geodb.Provider, addrs []ipx.Addr) (agree, total int) {
+	total = len(addrs)
+	for _, addr := range addrs {
+		country := ""
+		ok := true
+		for _, db := range dbs {
+			rec, found := db.Lookup(addr)
+			if !found || !rec.HasCountry() {
+				ok = false
+				break
+			}
+			if country == "" {
+				country = rec.Country
+			} else if rec.Country != country {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			agree++
+		}
+	}
+	return agree, total
+}
+
+// PairwiseCity compares two databases' city-level coordinates over a set
+// of addresses (Figure 1). Only addresses with city answers in *both*
+// databases contribute. Identical coordinates are counted separately and
+// excluded from the CDF, matching the figure's truncation of the 68%
+// identical MaxMind pairs.
+type PairwiseCity struct {
+	Both      int
+	Identical int
+	Over40Km  int
+	CDF       *stats.ECDF
+}
+
+// MeasurePairwiseCity computes the Figure 1 comparison for one pair.
+func MeasurePairwiseCity(a, b geodb.Provider, addrs []ipx.Addr) PairwiseCity {
+	out := PairwiseCity{CDF: &stats.ECDF{}}
+	for _, addr := range addrs {
+		ra, okA := a.Lookup(addr)
+		rb, okB := b.Lookup(addr)
+		if !okA || !okB || !ra.HasCity() || !rb.HasCity() {
+			continue
+		}
+		out.Both++
+		if ra.Coord == rb.Coord {
+			out.Identical++
+			continue
+		}
+		d := ra.Coord.DistanceKm(rb.Coord)
+		out.CDF.Add(d)
+		if d > CityRangeKm {
+			out.Over40Km++
+		}
+	}
+	return out
+}
+
+// DisagreeOver40Pct returns the fraction of compared addresses the two
+// databases place more than 40 km apart — the paper's headline "at least
+// 29% city-level disagreements" metric.
+func (p PairwiseCity) DisagreeOver40Pct() float64 {
+	return stats.Fraction(p.Over40Km, p.Both)
+}
+
+// CityAnsweredInAll filters addrs to those with city-level coordinates in
+// every database — the ~692K-address subset Figure 1 is computed over.
+func CityAnsweredInAll(dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
+	var out []ipx.Addr
+	for _, addr := range addrs {
+		all := true
+		for _, db := range dbs {
+			rec, ok := db.Lookup(addr)
+			if !ok || !rec.HasCity() {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package core implements the paper's contribution: the evaluation
+// methodology for router geolocation in databases (§4). Given any set of
+// geodb.Providers it measures
+//
+//   - coverage: the fraction of addresses with country- and city-level
+//     answers;
+//   - consistency: pairwise country agreement and pairwise city-level
+//     coordinate-distance CDFs with the 40 km city-range threshold;
+//   - coordinate validity: database city coordinates against the
+//     gazetteer, and the same city across databases;
+//   - accuracy against ground truth: overall, per RIR, per country and
+//     per ground-truth method, as geolocation-error CDFs and
+//     within-40 km rates;
+//   - the ARIN case study (§5.2.3) and the §6 recommendation synthesis.
+//
+// Nothing in this package knows about the simulator; it consumes opaque
+// Providers and ground-truth targets, so it would work unchanged against
+// real database snapshots.
+package core
+
+import (
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/groundtruth"
+	"routergeo/internal/ipx"
+	"routergeo/internal/netsim"
+	"routergeo/internal/stats"
+)
+
+// CityRangeKm is the paper's city-range threshold: two locations within
+// 40 km are considered the same city (§4).
+const CityRangeKm = 40.0
+
+// Target is one ground-truth address to score against.
+type Target struct {
+	Addr    ipx.Addr
+	Truth   geo.Coordinate
+	Country string // ISO2 of the true location
+	RIR     geo.RIR
+	Method  groundtruth.Method
+}
+
+// TargetsFromDataset converts a ground-truth dataset into evaluation
+// targets, resolving each address's RIR through whois as the paper does
+// with Team Cymru.
+func TargetsFromDataset(w *netsim.World, ds *groundtruth.Dataset) []Target {
+	out := make([]Target, 0, ds.Len())
+	for _, e := range ds.Entries {
+		out = append(out, Target{
+			Addr:    e.Addr,
+			Truth:   e.Coord,
+			Country: e.Country,
+			RIR:     w.Reg.RIROf(e.Addr),
+			Method:  e.Method,
+		})
+	}
+	return out
+}
+
+// Coverage counts how many of a set of addresses a database answers at
+// each resolution (§5.1, §5.2.1).
+type Coverage struct {
+	Total   int
+	Country int
+	City    int
+}
+
+// CountryPct and CityPct return coverage fractions.
+func (c Coverage) CountryPct() float64 { return stats.Fraction(c.Country, c.Total) }
+func (c Coverage) CityPct() float64    { return stats.Fraction(c.City, c.Total) }
+
+// MeasureCoverage queries every address once.
+func MeasureCoverage(db geodb.Provider, addrs []ipx.Addr) Coverage {
+	c := Coverage{Total: len(addrs)}
+	for _, a := range addrs {
+		rec, ok := db.Lookup(a)
+		if !ok {
+			continue
+		}
+		if rec.HasCountry() {
+			c.Country++
+		}
+		if rec.HasCity() {
+			c.City++
+		}
+	}
+	return c
+}
+
+// Accuracy scores one database against ground truth (§5.2).
+type Accuracy struct {
+	// Total is the number of targets evaluated.
+	Total int
+	// CountryAnswered/CountryCorrect cover country-level accuracy.
+	CountryAnswered int
+	CountryCorrect  int
+	// CityAnswered targets had city-level answers; Within40Km of them fall
+	// inside the city range; ErrorCDF holds their geolocation errors
+	// (Figures 2 and 5).
+	CityAnswered int
+	Within40Km   int
+	ErrorCDF     *stats.ECDF
+}
+
+// CountryCoverage, CountryAccuracy, CityCoverage, CityAccuracy return the
+// paper's headline fractions.
+func (a Accuracy) CountryCoverage() float64 { return stats.Fraction(a.CountryAnswered, a.Total) }
+func (a Accuracy) CountryAccuracy() float64 {
+	return stats.Fraction(a.CountryCorrect, a.CountryAnswered)
+}
+func (a Accuracy) CityCoverage() float64 { return stats.Fraction(a.CityAnswered, a.Total) }
+func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a.CityAnswered) }
+
+// MeasureAccuracy scores db on every target.
+func MeasureAccuracy(db geodb.Provider, targets []Target) Accuracy {
+	acc := Accuracy{Total: len(targets), ErrorCDF: &stats.ECDF{}}
+	for _, t := range targets {
+		rec, ok := db.Lookup(t.Addr)
+		if !ok {
+			continue
+		}
+		if rec.HasCountry() {
+			acc.CountryAnswered++
+			if rec.Country == t.Country {
+				acc.CountryCorrect++
+			}
+		}
+		if rec.HasCity() {
+			acc.CityAnswered++
+			d := rec.Coord.DistanceKm(t.Truth)
+			acc.ErrorCDF.Add(d)
+			if d <= CityRangeKm {
+				acc.Within40Km++
+			}
+		}
+	}
+	return acc
+}
+
+// AccuracyByRIR breaks targets down by registry (Figures 3 and 5).
+func AccuracyByRIR(db geodb.Provider, targets []Target) map[geo.RIR]Accuracy {
+	grouped := map[geo.RIR][]Target{}
+	for _, t := range targets {
+		grouped[t.RIR] = append(grouped[t.RIR], t)
+	}
+	out := make(map[geo.RIR]Accuracy, len(grouped))
+	for rir, ts := range grouped {
+		out[rir] = MeasureAccuracy(db, ts)
+	}
+	return out
+}
+
+// AccuracyByCountry breaks targets down by true country (Figure 4).
+func AccuracyByCountry(db geodb.Provider, targets []Target) map[string]Accuracy {
+	grouped := map[string][]Target{}
+	for _, t := range targets {
+		grouped[t.Country] = append(grouped[t.Country], t)
+	}
+	out := make(map[string]Accuracy, len(grouped))
+	for cc, ts := range grouped {
+		out[cc] = MeasureAccuracy(db, ts)
+	}
+	return out
+}
+
+// AccuracyByMethod splits targets by ground-truth method (§5.2.4).
+func AccuracyByMethod(db geodb.Provider, targets []Target) map[groundtruth.Method]Accuracy {
+	grouped := map[groundtruth.Method][]Target{}
+	for _, t := range targets {
+		grouped[t.Method] = append(grouped[t.Method], t)
+	}
+	out := make(map[groundtruth.Method]Accuracy, len(grouped))
+	for m, ts := range grouped {
+		out[m] = MeasureAccuracy(db, ts)
+	}
+	return out
+}
+
+// TopCountries returns the ISO2 codes of the n countries with the most
+// targets, ordered by descending count (Figure 4's x-axis).
+func TopCountries(targets []Target, n int) []string {
+	counts := map[string]int{}
+	for _, t := range targets {
+		counts[t.Country]++
+	}
+	out := make([]string, 0, len(counts))
+	for cc := range counts {
+		out = append(out, cc)
+	}
+	// Insertion sort by (count desc, code asc) — tiny n.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if counts[b] > counts[a] || (counts[b] == counts[a] && b < a) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// SharedIncorrect counts, for a reference country-level mistake set, how
+// many targets a group of databases all geolocate to the *same wrong
+// country* — the paper's observation that IP2Location and both MaxMinds
+// share roughly two thirds of their wrong answers (Figure 4 discussion).
+func SharedIncorrect(dbs []geodb.Provider, targets []Target) (shared int, wrongPerDB []int) {
+	wrongPerDB = make([]int, len(dbs))
+	for _, t := range targets {
+		answers := make([]string, len(dbs))
+		allSameWrong := true
+		for i, db := range dbs {
+			rec, ok := db.Lookup(t.Addr)
+			if !ok || !rec.HasCountry() {
+				allSameWrong = false
+				answers[i] = ""
+				continue
+			}
+			answers[i] = rec.Country
+			if rec.Country != t.Country {
+				wrongPerDB[i]++
+			}
+		}
+		if !allSameWrong {
+			continue
+		}
+		first := answers[0]
+		if first == t.Country {
+			continue
+		}
+		same := true
+		for _, a := range answers[1:] {
+			if a != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			shared++
+		}
+	}
+	return shared, wrongPerDB
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/stats"
+)
+
+// Recommendation is one §6-style guidance item derived from measured
+// results rather than hard-coded text.
+type Recommendation struct {
+	// Rank orders recommendations by importance (1 first).
+	Rank int
+	// Subject is the database or region the item is about.
+	Subject string
+	// Text is the human-readable guidance.
+	Text string
+}
+
+// Recommend synthesizes the paper's §6 guidance from measured results.
+// results maps database name to overall ground-truth accuracy; perRIR
+// carries the regional breakdown. The function is deliberately mechanical:
+// every bullet in §6 is a threshold test over the measurements, so if the
+// databases behaved differently the advice would change with them.
+func Recommend(results map[string]Accuracy, perRIR map[string]map[geo.RIR]Accuracy) []Recommendation {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Composite score: city accuracy weighted by city coverage, the
+	// "combination of coverage and accuracy" the paper ranks NetAcuity
+	// first on (§8).
+	score := func(n string) float64 {
+		a := results[n]
+		return a.CityAccuracy() * a.CityCoverage()
+	}
+	best := ""
+	for _, n := range names {
+		if best == "" || score(n) > score(best) {
+			best = n
+		}
+	}
+
+	var recs []Recommendation
+	add := func(subject, text string) {
+		recs = append(recs, Recommendation{Rank: len(recs) + 1, Subject: subject, Text: text})
+	}
+
+	a := results[best]
+	add(best, fmt.Sprintf(
+		"If a geolocation database is the only option for routers, use %s: "+
+			"it combines %s city-level coverage with %s city-level accuracy over ground truth.",
+		best, stats.Pct(a.CityCoverage()), stats.Pct(a.CityAccuracy())))
+
+	// MaxMind guidance: low city coverage, regionally decent accuracy.
+	var mmNames []string
+	for _, n := range names {
+		if len(n) >= 7 && n[:7] == "MaxMind" {
+			mmNames = append(mmNames, n)
+		}
+	}
+	for _, n := range mmNames {
+		acc := results[n]
+		if acc.CityCoverage() < 0.5 {
+			add(n, fmt.Sprintf(
+				"Do not rely on %s when city-level coverage matters: it answers at city "+
+					"level for only %s of router addresses (accuracy on the answers it does "+
+					"give is %s).", n, stats.Pct(acc.CityCoverage()), stats.Pct(acc.CityAccuracy())))
+		}
+	}
+	if len(mmNames) == 2 {
+		paid, free := results["MaxMind-Paid"], results["MaxMind-GeoLite"]
+		if paid.CityCoverage() > free.CityCoverage() {
+			add("MaxMind", fmt.Sprintf(
+				"Prefer the commercial MaxMind over the free one for routers: city coverage "+
+					"%s vs %s and accuracy %s vs %s.",
+				stats.Pct(paid.CityCoverage()), stats.Pct(free.CityCoverage()),
+				stats.Pct(paid.CityAccuracy()), stats.Pct(free.CityAccuracy())))
+		}
+	}
+
+	// The least city-accurate full-coverage database gets a warning.
+	worst := ""
+	for _, n := range names {
+		if results[n].CityCoverage() < 0.9 {
+			continue
+		}
+		if worst == "" || results[n].CityAccuracy() < results[worst].CityAccuracy() {
+			worst = n
+		}
+	}
+	if worst != "" && worst != best {
+		add(worst, fmt.Sprintf(
+			"Avoid %s when accuracy matters: despite %s city coverage its city-level "+
+				"accuracy is only %s.", worst,
+			stats.Pct(results[worst].CityCoverage()), stats.Pct(results[worst].CityAccuracy())))
+	}
+
+	// Budget option: if the registry-fed databases cluster at country
+	// level, say they are interchangeable there.
+	var countryAccs []float64
+	for _, n := range names {
+		countryAccs = append(countryAccs, results[n].CountryAccuracy())
+	}
+	sort.Float64s(countryAccs)
+	if len(countryAccs) >= 3 && countryAccs[len(countryAccs)-2]-countryAccs[0] < 0.05 {
+		add("budget", fmt.Sprintf(
+			"If ~%s country-level accuracy is acceptable, the free databases are "+
+				"comparable to the commercial ones below the leader — but per-country "+
+				"accuracy varies widely.", stats.Pct(countryAccs[0])))
+	}
+
+	// Regional warning: if every database's ARIN city accuracy is poor,
+	// tell users not to trust city answers there (§6's strongest bullet).
+	allPoor := len(perRIR) > 0
+	worstARIN := 1.0
+	for _, byRIR := range perRIR {
+		acc, ok := byRIR[geo.ARIN]
+		if !ok {
+			continue
+		}
+		if acc.CityAccuracy() > 0.8 {
+			allPoor = false
+		}
+		if acc.CityAccuracy() < worstARIN {
+			worstARIN = acc.CityAccuracy()
+		}
+	}
+	if allPoor {
+		add("ARIN", fmt.Sprintf(
+			"Do not trust city-level answers for ARIN addresses regardless of database: "+
+				"even the best database stays under 80%% there (worst observed %s).",
+			stats.Pct(worstARIN)))
+	}
+	return recs
+}

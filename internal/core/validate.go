@@ -1,0 +1,85 @@
+package core
+
+import (
+	"routergeo/internal/gazetteer"
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// CityCoordCheck is the §4 sanity check result: are a database's city
+// coordinates really city-level?
+type CityCoordCheck struct {
+	// Cities is the number of distinct (country, city) pairs checked.
+	Cities int
+	// Within40Km of them sit within the city range of the gazetteer's
+	// coordinates for the same (country, city); Unmatched were not in the
+	// gazetteer at all.
+	Within40Km int
+	Unmatched  int
+}
+
+// ValidateCityCoords compares every distinct city in a database against
+// the gazetteer (the paper's GeoNames check: >99% within 40 km).
+func ValidateCityCoords(db *geodb.DB, gaz *gazetteer.Gazetteer) CityCoordCheck {
+	type cityKey struct{ cc, name string }
+	seen := map[cityKey]geo.Coordinate{}
+	db.Walk(func(_ ipx.Range, rec geodb.Record) bool {
+		if rec.HasCity() {
+			k := cityKey{rec.Country, rec.City}
+			if _, dup := seen[k]; !dup {
+				seen[k] = rec.Coord
+			}
+		}
+		return true
+	})
+	var out CityCoordCheck
+	for k, coord := range seen {
+		out.Cities++
+		ref, ok := gaz.City(k.cc, k.name)
+		if !ok {
+			out.Unmatched++
+			continue
+		}
+		if coord.WithinKm(ref.Coord, CityRangeKm) {
+			out.Within40Km++
+		}
+	}
+	return out
+}
+
+// CrossDBCityCoords compares the coordinates two databases assign to the
+// same (country, city) — the paper's second §4 check, which justifies
+// treating any two coordinates within 40 km as the same city.
+func CrossDBCityCoords(a, b *geodb.DB) (within40, common int) {
+	type cityKey struct{ cc, name string }
+	coordsA := map[cityKey]geo.Coordinate{}
+	a.Walk(func(_ ipx.Range, rec geodb.Record) bool {
+		if rec.HasCity() {
+			k := cityKey{rec.Country, rec.City}
+			if _, dup := coordsA[k]; !dup {
+				coordsA[k] = rec.Coord
+			}
+		}
+		return true
+	})
+	seenB := map[cityKey]bool{}
+	b.Walk(func(_ ipx.Range, rec geodb.Record) bool {
+		if !rec.HasCity() {
+			return true
+		}
+		k := cityKey{rec.Country, rec.City}
+		if seenB[k] {
+			return true
+		}
+		seenB[k] = true
+		if ca, ok := coordsA[k]; ok {
+			common++
+			if ca.WithinKm(rec.Coord, CityRangeKm) {
+				within40++
+			}
+		}
+		return true
+	})
+	return within40, common
+}

@@ -1,0 +1,189 @@
+// Package experiments wires the full reproduction together: it builds one
+// Env (world, Ark sweep, rDNS zone, Atlas fleet, ground truth, the four
+// vendor databases) and exposes one runner per table, figure and in-text
+// analysis of the paper's evaluation. Each runner prints the rows or
+// series the paper reports, at this reproduction's scale.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"routergeo/internal/ark"
+	"routergeo/internal/atlas"
+	"routergeo/internal/core"
+	"routergeo/internal/geodb"
+	"routergeo/internal/groundtruth"
+	"routergeo/internal/hints"
+	"routergeo/internal/ipx"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rdns"
+	"routergeo/internal/vendors"
+)
+
+// Config assembles the sub-configurations of the pipeline. Zero values
+// pull each component's defaults.
+type Config struct {
+	World netsim.Config
+	Ark   ark.Config
+	RDNS  rdns.Config
+	Atlas atlas.Config
+	RTT   groundtruth.RTTConfig
+	// OneMsProbes sizes the second, later fleet used to synthesize the
+	// Giotsas-style 1 ms comparison dataset (§3.1/§3.2).
+	OneMsProbes int
+	// EvolutionSeed drives the churn timeline shared by §3's analyses.
+	EvolutionSeed int64
+}
+
+// DefaultConfig runs the pipeline at the scale DESIGN.md documents.
+func DefaultConfig() Config {
+	return Config{
+		World:         netsim.DefaultConfig(),
+		Ark:           ark.DefaultConfig(),
+		RDNS:          rdns.DefaultConfig(),
+		Atlas:         atlas.DefaultConfig(),
+		RTT:           groundtruth.DefaultRTTConfig(),
+		OneMsProbes:   2600,
+		EvolutionSeed: 97,
+	}
+}
+
+// Env is the fully built experimental environment. Build it once with
+// NewEnv and run any number of experiments against it.
+type Env struct {
+	Cfg  Config
+	W    *netsim.World
+	Coll *ark.Collection
+	Dict *hints.Dictionary
+	Dec  *hints.Decoder
+	Zone *rdns.Zone
+
+	Fleet        *atlas.Fleet
+	Measurements []atlas.Measurement
+
+	DNS      *groundtruth.Dataset
+	DNSStats groundtruth.DNSStats
+	RTTDS    *groundtruth.Dataset
+	RTTStats groundtruth.RTTStats
+	GT       *groundtruth.Dataset
+	Targets  []core.Target
+
+	// Evo is the shared churn timeline; OneMs the +10-month 1 ms dataset.
+	Evo   *netsim.Evolution
+	OneMs *groundtruth.Dataset
+
+	// DBs holds the four databases in the paper's presentation order:
+	// IP2Location-Lite, MaxMind-GeoLite, MaxMind-Paid, NetAcuity.
+	DBs []*geodb.DB
+
+	// ArkAddrs is the Ark-topo-router address list the §5.1 analyses use.
+	ArkAddrs []ipx.Addr
+}
+
+// DB fetches a database by name; it panics on unknown names, which would
+// be a programming error in an experiment.
+func (e *Env) DB(name string) *geodb.DB {
+	for _, db := range e.DBs {
+		if db.Name() == name {
+			return db
+		}
+	}
+	panic("experiments: unknown database " + name)
+}
+
+// Providers returns the databases as the provider interface slice the
+// core methodology consumes.
+func (e *Env) Providers() []geodb.Provider {
+	out := make([]geodb.Provider, len(e.DBs))
+	for i, db := range e.DBs {
+		out[i] = db
+	}
+	return out
+}
+
+// NewEnv builds the environment. With the default configuration this
+// takes a few seconds on one core; everything downstream is cheap.
+func NewEnv(cfg Config) (*Env, error) {
+	w, err := netsim.Build(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build world: %w", err)
+	}
+	e := &Env{Cfg: cfg, W: w}
+
+	e.Dict = hints.NewDictionary(w.Gaz)
+	e.Dec = hints.NewDecoder(e.Dict)
+	e.Zone = rdns.Synthesize(w, e.Dict, cfg.RDNS)
+
+	// The three measurement campaigns are independent of one another (each
+	// owns its RNG), so they run concurrently; their consumers join below.
+	var (
+		wg     sync.WaitGroup
+		fleet2 *atlas.Fleet
+		ms2    []atlas.Measurement
+	)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		e.Coll = ark.Collect(w, cfg.Ark)
+	}()
+	go func() {
+		defer wg.Done()
+		e.Fleet = atlas.Deploy(w, cfg.Atlas)
+		e.Measurements = e.Fleet.RunBuiltins(cfg.Atlas.Seed + 1)
+	}()
+	go func() {
+		defer wg.Done()
+		// The Giotsas-style comparison fleet: larger, later, 1 ms rule.
+		fleet2Cfg := cfg.Atlas
+		fleet2Cfg.Probes = cfg.OneMsProbes
+		fleet2Cfg.Seed = cfg.Atlas.Seed + 1000
+		fleet2 = atlas.Deploy(w, fleet2Cfg)
+		ms2 = fleet2.RunBuiltins(fleet2Cfg.Seed + 1)
+	}()
+	wg.Wait()
+
+	for _, id := range e.Coll.Interfaces {
+		e.ArkAddrs = append(e.ArkAddrs, w.Interfaces[id].Addr)
+	}
+
+	e.DNS, e.DNSStats = groundtruth.BuildDNS(w, e.Coll, e.Zone, e.Dec)
+	e.RTTDS, e.RTTStats = groundtruth.BuildRTT(w, e.Fleet, e.Measurements, cfg.RTT)
+	e.GT = groundtruth.Merge(e.DNS, e.RTTDS)
+	e.Targets = core.TargetsFromDataset(w, e.GT)
+
+	e.Evo = w.Evolve(rand.New(rand.NewSource(cfg.EvolutionSeed)), netsim.DefaultEvolutionParams())
+
+	oneMsCfg := groundtruth.RTTConfig{ThresholdMs: 1.0, CentroidKm: cfg.RTT.CentroidKm, NearbyMaxKm: 200}
+	oneMsBase, _ := groundtruth.BuildRTT(w, fleet2, ms2, oneMsCfg)
+	e.OneMs = groundtruth.Build1ms(w, oneMsBase, e.Evo, 10, 0.7, cfg.EvolutionSeed+1)
+
+	// The four vendor pipelines are read-only over the shared inputs and
+	// deterministic per vendor; build them concurrently, keeping the
+	// presentation order stable.
+	in := vendors.Inputs{
+		World:   w,
+		Feed:    vendors.BuildFeed(w, vendors.DefaultFeedConfig()),
+		Zone:    e.Zone,
+		Decoder: e.Dec,
+	}
+	params := vendors.AllParams()
+	dbs := make([]*geodb.DB, len(params))
+	errs := make([]error, len(params))
+	wg.Add(len(params))
+	for i, p := range params {
+		go func(i int, p vendors.Params) {
+			defer wg.Done()
+			dbs[i], errs[i] = vendors.Build(in, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build vendors: %w", err)
+		}
+	}
+	e.DBs = dbs
+	return e, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"routergeo/internal/core"
+	"routergeo/internal/geo"
+	"routergeo/internal/groundtruth"
+	"routergeo/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sec523",
+		Title: "§5.2.3: poor city-level accuracy at ARIN (MaxMind-Paid case study)",
+		Run:   runSec523,
+	})
+	register(Experiment{
+		ID:    "sec524",
+		Title: "§5.2.4: accuracy against the DNS-based and RTT-proximity datasets separately",
+		Run:   runSec524,
+	})
+	register(Experiment{
+		ID:    "rec",
+		Title: "§6: recommendations synthesized from the measured results",
+		Run:   runRecommendations,
+	})
+}
+
+func runSec523(w io.Writer, env *Env) error {
+	s := core.RunARINCaseStudy(env.DB("MaxMind-Paid"), env.Targets)
+	fmt.Fprintf(w, "ARIN holds %d ground-truth addresses (%s of the set) [paper: 10,608 = 64%%]\n",
+		s.ARINTargets, stats.Pct(s.ARINShare))
+	fmt.Fprintf(w, "ARIN addresses not located in the US:   %5d [paper: 2,793]\n", s.NonUS)
+	fmt.Fprintf(w, "  of those, geolocated to the US:       %5d (%s) [paper: 1,955 = 70%%]\n",
+		s.NonUSPlacedInUS, stats.Pct(stats.Fraction(s.NonUSPlacedInUS, s.NonUS)))
+	fmt.Fprintf(w, "  of those, with city-level answers:    %5d (%s) [paper: 519 = 26.6%%]\n",
+		s.NonUSPlacedInUSCity, stats.Pct(stats.Fraction(s.NonUSPlacedInUSCity, s.NonUSPlacedInUS)))
+	fmt.Fprintf(w, "  of those, >1000 km off:               %5d (%s) [paper: 504]\n",
+		s.NonUSCityOver1000Km, stats.Pct(stats.Fraction(s.NonUSCityOver1000Km, s.NonUSPlacedInUSCity)))
+	fmt.Fprintf(w, "\nUS-located ARIN addresses with city answers: %5d [paper: 3,897]\n", s.USARINCityAnswered)
+	fmt.Fprintf(w, "  geolocation error > 40 km:            %5d (%s) [paper: 2,267 = 58.2%%]\n",
+		s.USARINCityWrong, stats.Pct(stats.Fraction(s.USARINCityWrong, s.USARINCityAnswered)))
+	fmt.Fprintf(w, "  block-level among the wrong answers:  %s [paper: ~91%%]\n", stats.Pct(s.WrongBlockShare()))
+	fmt.Fprintf(w, "  block-level among the correct ones:   %s [paper: ~78%%]\n", stats.Pct(s.CorrectBlockShare()))
+	return nil
+}
+
+func runSec524(w io.Writer, env *Env) error {
+	fmt.Fprintf(w, "City-level accuracy and coverage per ground-truth method (40 km range):\n\n")
+	fmt.Fprintf(w, "%-18s %22s %22s\n", "Database", "DNS-based acc (cov)", "RTT-proximity acc (cov)")
+	type row struct{ dnsAcc, rttAcc float64 }
+	rows := map[string]row{}
+	for _, db := range env.DBs {
+		byM := core.AccuracyByMethod(db, env.Targets)
+		dns, rtt := byM[groundtruth.DNS], byM[groundtruth.RTT]
+		rows[db.Name()] = row{dns.CityAccuracy(), rtt.CityAccuracy()}
+		fmt.Fprintf(w, "%-18s %12s (%6s) %14s (%6s)\n", db.Name(),
+			stats.Pct(dns.CityAccuracy()), stats.Pct(dns.CityCoverage()),
+			stats.Pct(rtt.CityAccuracy()), stats.Pct(rtt.CityCoverage()))
+	}
+	fmt.Fprintf(w, "\nPaper: NetAcuity 74.2%% DNS vs 70.1%% RTT — the only database better on the\n")
+	fmt.Fprintf(w, "DNS-based data, implying it decodes hostname hints; MaxMind-Paid 43.9%% vs 66.5%%.\n")
+	better := 0
+	for name, r := range rows {
+		if r.dnsAcc > r.rttAcc {
+			fmt.Fprintf(w, "Better on DNS-based here: %s (%s vs %s)\n",
+				name, stats.Pct(r.dnsAcc), stats.Pct(r.rttAcc))
+			better++
+		}
+	}
+	if better == 0 {
+		fmt.Fprintf(w, "No database did better on the DNS-based data in this run.\n")
+	}
+
+	// Regional view for NetAcuity (paper: ARIN 55.1%% RTT vs 70.6%% DNS).
+	neta := env.DB("NetAcuity")
+	var dnsT, rttT []core.Target
+	for _, t := range env.Targets {
+		if t.Method == groundtruth.DNS {
+			dnsT = append(dnsT, t)
+		} else {
+			rttT = append(rttT, t)
+		}
+	}
+	byRIRDNS := core.AccuracyByRIR(neta, dnsT)
+	byRIRRTT := core.AccuracyByRIR(neta, rttT)
+	fmt.Fprintf(w, "\nNetAcuity city accuracy by RIR and method:\n")
+	for _, r := range geo.RIRs {
+		fmt.Fprintf(w, "  %-8s DNS %s (n=%d)   RTT %s (n=%d)\n", r.String(),
+			stats.Pct(byRIRDNS[r].CityAccuracy()), byRIRDNS[r].CityAnswered,
+			stats.Pct(byRIRRTT[r].CityAccuracy()), byRIRRTT[r].CityAnswered)
+	}
+	return nil
+}
+
+func runRecommendations(w io.Writer, env *Env) error {
+	results := map[string]core.Accuracy{}
+	perRIR := map[string]map[geo.RIR]core.Accuracy{}
+	for _, db := range env.DBs {
+		results[db.Name()] = core.MeasureAccuracy(db, env.Targets)
+		perRIR[db.Name()] = core.AccuracyByRIR(db, env.Targets)
+	}
+	recs := core.Recommend(results, perRIR)
+	for _, r := range recs {
+		fmt.Fprintf(w, "%d. [%s] %s\n", r.Rank, r.Subject, r.Text)
+	}
+	return nil
+}

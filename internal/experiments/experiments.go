@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible artifact of the paper's evaluation.
+type Experiment struct {
+	// ID is the short handle used on the command line (e.g. "fig2").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Run prints the artifact's rows/series to w.
+	Run func(w io.Writer, env *Env) error
+}
+
+// registry of experiments, populated by the exp_*.go files; extensions
+// holds the beyond-the-paper analyses (CBG comparison, block co-locality,
+// ablations, majority vote) kept apart so All() stays exactly the paper's
+// 14 artifacts.
+var (
+	registry   []Experiment
+	extensions []Experiment
+)
+
+func register(e Experiment)    { registry = append(registry, e) }
+func registerExt(e Experiment) { extensions = append(extensions, e) }
+
+// Extensions returns the beyond-the-paper analyses in registration order.
+func Extensions() []Experiment {
+	out := make([]Experiment, len(extensions))
+	copy(out, extensions)
+	return out
+}
+
+// All returns every experiment in presentation order (Table 1 first, the
+// recommendations last).
+func All() []Experiment {
+	order := map[string]int{
+		"table1": 1, "sec31": 2, "sec32": 3, "sec4": 4, "sec51": 5,
+		"fig1": 6, "sec521": 7, "fig2": 8, "fig3": 9, "fig4": 10,
+		"fig5": 11, "sec523": 12, "sec524": 13, "rec": 14,
+	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return order[out[i].ID] < order[out[j].ID] })
+	return out
+}
+
+// ByID fetches one experiment, searching the paper artifacts first and
+// the extensions second.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range extensions {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment against env, writing each artifact
+// under a banner. It stops at the first failure.
+func RunAll(w io.Writer, env *Env) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.ID, e.Title)
+		if err := e.Run(w, env); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// cdfPoints are the distance probes (km) the textual CDFs print at,
+// spanning the paper's log-scale x-axes.
+var cdfPoints = []float64{1, 10, 40, 100, 500, 1000, 5000, 10000}

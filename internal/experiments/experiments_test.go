@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"routergeo/internal/geo"
+)
+
+var cachedEnv *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if cachedEnv != nil {
+		return cachedEnv
+	}
+	cfg := DefaultConfig()
+	cfg.World.ASes = 250
+	cfg.Atlas.Probes = 600
+	cfg.OneMsProbes = 900
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedEnv = env
+	return env
+}
+
+func TestEnvInvariants(t *testing.T) {
+	env := testEnv(t)
+	if len(env.DBs) != 4 {
+		t.Fatalf("%d databases built", len(env.DBs))
+	}
+	if env.GT.Len() != len(env.Targets) {
+		t.Errorf("targets (%d) != ground truth (%d)", len(env.Targets), env.GT.Len())
+	}
+	if env.DNS.Len()+env.RTTDS.Len() < env.GT.Len() {
+		t.Error("merged ground truth exceeds its parts")
+	}
+	if len(env.ArkAddrs) != len(env.Coll.Interfaces) {
+		t.Error("Ark address list inconsistent with collection")
+	}
+	if env.OneMs.Len() == 0 {
+		t.Error("1ms comparison dataset empty")
+	}
+	// Every target address must resolve in the world and carry a RIR.
+	for _, tg := range env.Targets[:min(200, len(env.Targets))] {
+		if _, ok := env.W.IfaceByAddr(tg.Addr); !ok {
+			t.Fatalf("target %v unknown to world", tg.Addr)
+		}
+		if tg.RIR == geo.RIRUnknown {
+			t.Fatalf("target %v has no RIR", tg.Addr)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	want := []string{"table1", "sec31", "sec32", "sec4", "sec51", "fig1",
+		"sec521", "fig2", "fig3", "fig4", "fig5", "sec523", "sec524", "rec"}
+	if len(ids) != len(want) {
+		t.Fatalf("have %d experiments, want %d", len(ids), len(want))
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	// Presentation order: table1 first, rec last.
+	all := All()
+	if all[0].ID != "table1" || all[len(all)-1].ID != "rec" {
+		t.Errorf("presentation order wrong: %s ... %s", all[0].ID, all[len(all)-1].ID)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig2"); !ok {
+		t.Error("fig2 should exist")
+	}
+	if _, ok := ByID("ext-cbg"); !ok {
+		t.Error("ByID should find extensions")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("fig99 should not exist")
+	}
+}
+
+func TestExtensionsSeparateFromPaperArtifacts(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 6 {
+		t.Fatalf("got %d extensions", len(exts))
+	}
+	paper := map[string]bool{}
+	for _, e := range All() {
+		paper[e.ID] = true
+	}
+	for _, e := range exts {
+		if paper[e.ID] {
+			t.Errorf("extension %s leaked into the paper artifact list", e.ID)
+		}
+		if !strings.HasPrefix(e.ID, "ext-") {
+			t.Errorf("extension id %q should be ext-prefixed", e.ID)
+		}
+	}
+}
+
+// TestExtensionsRun executes the four beyond-the-paper analyses and
+// verifies their headline claims hold in the built environment.
+func TestExtensionsRun(t *testing.T) {
+	env := testEnv(t)
+	markers := map[string][]string{
+		"ext-cbg":      {"CBG (delay-based)", "NetAcuity"},
+		"ext-blocks":   {"co-located", "spanning"},
+		"ext-ablation": {"threshold", "filters OFF", "purity"},
+		"ext-majority": {"acc vs majority", "acc vs truth"},
+		"ext-vendors":  {"hint-pipeline ablation", "SWIP ablation", "control"},
+		"ext-drop":     {"learned rules", "against exact truth"},
+	}
+	for _, e := range Extensions() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, env); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := buf.String()
+		for _, m := range markers[e.ID] {
+			if !strings.Contains(out, m) {
+				t.Errorf("%s output missing %q", e.ID, m)
+			}
+		}
+	}
+}
+
+func TestWritePlotData(t *testing.T) {
+	env := testEnv(t)
+	dir := t.TempDir()
+	if err := WritePlotData(dir, env); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{
+		"fig1_maxmind_geolite_vs_maxmind_paid.tsv",
+		"fig2_netacuity.tsv",
+		"fig3.tsv",
+		"fig4.tsv",
+		"fig5_maxmind_paid_arin.tsv",
+		"fig5_netacuity_ripencc.tsv",
+	} {
+		if !names[want] {
+			t.Errorf("plot file %s missing (have %v)", want, names)
+		}
+	}
+	// CDF files must be monotone step series reaching 1.0.
+	data, err := os.ReadFile(dir + "/fig2_netacuity.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("fig2 series suspiciously short: %d lines", len(lines))
+	}
+	var lastVal, lastCDF float64
+	for _, line := range lines[2:] {
+		var v, c float64
+		if _, err := fmt.Sscanf(line, "%f\t%f", &v, &c); err != nil {
+			t.Fatalf("bad series line %q: %v", line, err)
+		}
+		if v < lastVal || c < lastCDF {
+			t.Fatalf("series not monotone at %q", line)
+		}
+		lastVal, lastCDF = v, c
+	}
+	if lastCDF < 0.999 {
+		t.Errorf("CDF ends at %f, want 1.0", lastCDF)
+	}
+}
+
+// TestEveryExperimentRuns executes all 14 artifacts and spot-checks their
+// output for the paper's key row labels.
+func TestEveryExperimentRuns(t *testing.T) {
+	env := testEnv(t)
+	markers := map[string][]string{
+		"table1": {"DNS-based", "RTT-proximity", "RIPENCC", "cogentco.com"},
+		"sec31":  {"Hostname churn", "1ms-RTT-proximity"},
+		"sec32":  {"candidate addresses", "probes disqualified", "final dataset"},
+		"sec4":   {"gazetteer", "within 40 km"},
+		"sec51":  {"Pairwise country-level agreement", "All four databases agree"},
+		"fig1":   {"identical coordinates", "MaxMind-GeoLite vs MaxMind-Paid"},
+		"sec521": {"country accuracy", "NetAcuity"},
+		"fig2":   {"Geolocation error", "IP2Location-Lite"},
+		"fig3":   {"ARIN", "RIPENCC"},
+		"fig4":   {"US", "Shared incorrect"},
+		"fig5":   {"MaxMind-Paid", "NetAcuity", "ARIN"},
+		"sec523": {"ARIN holds", "block-level"},
+		"sec524": {"DNS-based acc", "RTT-proximity acc"},
+		"rec":    {"NetAcuity"},
+	}
+	for _, e := range All() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, env); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := buf.String()
+		if len(out) < 50 {
+			t.Fatalf("%s output suspiciously short: %q", e.ID, out)
+		}
+		for _, m := range markers[e.ID] {
+			if !strings.Contains(out, m) {
+				t.Errorf("%s output missing %q", e.ID, m)
+			}
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := RunAll(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, e.Title) {
+			t.Errorf("RunAll output missing banner for %s", e.ID)
+		}
+	}
+}
+
+// TestPaperShapesHold asserts the qualitative findings the reproduction
+// must deliver, end to end, at test scale. These are the "who wins, by
+// roughly what factor" checks from the deliverable spec.
+func TestPaperShapesHold(t *testing.T) {
+	env := testEnv(t)
+	acc := map[string]accTriple{}
+	for _, db := range env.DBs {
+		acc[db.Name()] = measureTriple(env, db.Name())
+	}
+
+	neta := acc["NetAcuity"]
+	for _, other := range []string{"IP2Location-Lite", "MaxMind-GeoLite", "MaxMind-Paid"} {
+		if neta.country <= acc[other].country {
+			t.Errorf("NetAcuity country accuracy %.3f should lead %s (%.3f)",
+				neta.country, other, acc[other].country)
+		}
+	}
+	// MaxMind city coverage visibly partial; NetAcuity/IP2Location ~full.
+	if acc["MaxMind-Paid"].cityCov > 0.8 || acc["MaxMind-GeoLite"].cityCov > 0.7 {
+		t.Errorf("MaxMind city coverage too high: %.2f / %.2f",
+			acc["MaxMind-Paid"].cityCov, acc["MaxMind-GeoLite"].cityCov)
+	}
+	if acc["NetAcuity"].cityCov < 0.95 || acc["IP2Location-Lite"].cityCov < 0.95 {
+		t.Error("NetAcuity/IP2Location should have near-full city coverage")
+	}
+	// IP2Location is the least city-accurate.
+	for _, other := range []string{"NetAcuity", "MaxMind-Paid", "MaxMind-GeoLite"} {
+		if acc["IP2Location-Lite"].city >= acc[other].city {
+			t.Errorf("IP2Location city accuracy %.3f should trail %s (%.3f)",
+				acc["IP2Location-Lite"].city, other, acc[other].city)
+		}
+	}
+}
+
+type accTriple struct {
+	country, city, cityCov float64
+}
+
+func measureTriple(env *Env, name string) accTriple {
+	db := env.DB(name)
+	var total, ctryAns, ctryOK, cityAns, within int
+	for _, tg := range env.Targets {
+		total++
+		rec, ok := db.Lookup(tg.Addr)
+		if !ok {
+			continue
+		}
+		if rec.HasCountry() {
+			ctryAns++
+			if rec.Country == tg.Country {
+				ctryOK++
+			}
+		}
+		if rec.HasCity() {
+			cityAns++
+			if rec.Coord.WithinKm(tg.Truth, 40) {
+				within++
+			}
+		}
+	}
+	return accTriple{
+		country: frac(ctryOK, ctryAns),
+		city:    frac(within, cityAns),
+		cityCov: frac(cityAns, total),
+	}
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestStabilityReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds the pipeline twice")
+	}
+	cfg := DefaultConfig()
+	cfg.World.ASes = 200
+	cfg.Atlas.Probes = 400
+	cfg.OneMsProbes = 500
+	var buf bytes.Buffer
+	if err := StabilityReport(&buf, cfg, []int64{11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range []string{"seed", "NetA", "invariants"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("stability output missing %q", m)
+		}
+	}
+	if strings.Count(out, "\n") < 6 {
+		t.Errorf("stability output too short:\n%s", out)
+	}
+}

@@ -1,0 +1,61 @@
+package geo
+
+// RIR identifies one of the five Regional Internet Registries. The paper
+// breaks down every regional analysis (Table 1, Figures 3 and 5) by RIR.
+type RIR uint8
+
+const (
+	// RIRUnknown marks addresses whose registry could not be determined.
+	RIRUnknown RIR = iota
+	// ARIN covers the United States, Canada and parts of the Caribbean.
+	ARIN
+	// RIPENCC covers Europe, the Middle East and the former USSR.
+	RIPENCC
+	// APNIC covers the Asia-Pacific region.
+	APNIC
+	// LACNIC covers Latin America and the Caribbean.
+	LACNIC
+	// AFRINIC covers Africa.
+	AFRINIC
+)
+
+// RIRs lists the five registries in the order the paper's tables use
+// (Table 1: ARIN, APNIC, AFRINIC, LACNIC, RIPENCC).
+var RIRs = [...]RIR{ARIN, APNIC, AFRINIC, LACNIC, RIPENCC}
+
+// String returns the registry's conventional name.
+func (r RIR) String() string {
+	switch r {
+	case ARIN:
+		return "ARIN"
+	case RIPENCC:
+		return "RIPENCC"
+	case APNIC:
+		return "APNIC"
+	case LACNIC:
+		return "LACNIC"
+	case AFRINIC:
+		return "AFRINIC"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseRIR maps a registry name (as printed by String) back to its RIR.
+// Unrecognized names map to RIRUnknown.
+func ParseRIR(s string) RIR {
+	switch s {
+	case "ARIN":
+		return ARIN
+	case "RIPENCC", "RIPE", "RIPE NCC":
+		return RIPENCC
+	case "APNIC":
+		return APNIC
+	case "LACNIC":
+		return LACNIC
+	case "AFRINIC":
+		return AFRINIC
+	default:
+		return RIRUnknown
+	}
+}

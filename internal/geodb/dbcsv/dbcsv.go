@@ -1,0 +1,155 @@
+// Package dbcsv reads and writes geolocation databases as CSV — the
+// interchange format the real products actually ship (IP2Location's CSV
+// downloads, MaxMind's legacy GeoIP CSV). One row per range:
+//
+//	lo,hi,country,city,lat,lon,resolution,block_bits
+//
+// with lo/hi as dotted quads, an optional header line, empty city/coords
+// for country-level rows, and "resolution" spelled country|city.
+package dbcsv
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// header is the column line Write emits and Read tolerates.
+var header = []string{"lo", "hi", "country", "city", "lat", "lon", "resolution", "block_bits"}
+
+// Write emits db as CSV with a header line.
+func Write(w io.Writer, db *geodb.DB) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var werr error
+	db.Walk(func(r ipx.Range, rec geodb.Record) bool {
+		row := []string{
+			r.Lo.String(),
+			r.Hi.String(),
+			rec.Country,
+			rec.City,
+			formatCoord(rec.Coord.Lat),
+			formatCoord(rec.Coord.Lon),
+			rec.Resolution.String(),
+			strconv.Itoa(int(rec.BlockBits)),
+		}
+		if err := cw.Write(row); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCoord(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// Read parses a CSV database written by Write (or hand-assembled in the
+// same shape). name becomes the database's name. Rows must be disjoint;
+// a header line is skipped if present.
+func Read(r io.Reader, name string) (*geodb.DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	b := geodb.NewBuilder(name)
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dbcsv: %w", err)
+		}
+		line++
+		if line == 1 && row[0] == header[0] {
+			continue
+		}
+		lo, err := ipx.ParseAddr(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dbcsv: line %d: %w", line, err)
+		}
+		hi, err := ipx.ParseAddr(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dbcsv: line %d: %w", line, err)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("dbcsv: line %d: inverted range %s-%s", line, row[0], row[1])
+		}
+		rec := geodb.Record{Country: row[2], City: row[3]}
+		if row[4] != "" || row[5] != "" {
+			lat, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dbcsv: line %d: lat: %w", line, err)
+			}
+			lon, err := strconv.ParseFloat(row[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dbcsv: line %d: lon: %w", line, err)
+			}
+			rec.Coord = geo.Coordinate{Lat: lat, Lon: lon}
+			if !rec.Coord.Valid() {
+				return nil, fmt.Errorf("dbcsv: line %d: coordinates out of range", line)
+			}
+		}
+		switch row[6] {
+		case "city":
+			rec.Resolution = geodb.ResolutionCity
+		case "country":
+			rec.Resolution = geodb.ResolutionCountry
+		case "none", "":
+			rec.Resolution = geodb.ResolutionNone
+		default:
+			return nil, fmt.Errorf("dbcsv: line %d: unknown resolution %q", line, row[6])
+		}
+		bits, err := strconv.Atoi(row[7])
+		if err != nil || bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("dbcsv: line %d: bad block_bits %q", line, row[7])
+		}
+		rec.BlockBits = uint8(bits)
+		b.Add(0, ipx.Range{Lo: lo, Hi: hi}, rec)
+	}
+	db, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dbcsv: %w", err)
+	}
+	return db, nil
+}
+
+// WriteFile writes db to a CSV file at path.
+func WriteFile(path string, db *geodb.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a CSV database; the name derives from the file name.
+func ReadFile(path, name string) (*geodb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, name)
+}

@@ -1,0 +1,133 @@
+package dbcsv
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+func sample(t *testing.T) *geodb.DB {
+	t.Helper()
+	b := geodb.NewBuilder("csvdb")
+	b.AddPrefix(0, ipx.MustParsePrefix("10.0.0.0/16"), geodb.Record{
+		Country: "US", City: "Dallas",
+		Coord: geo.Coordinate{Lat: 32.7767, Lon: -96.797}, Resolution: geodb.ResolutionCity,
+	})
+	b.AddPrefix(0, ipx.MustParsePrefix("10.1.0.0/16"), geodb.Record{
+		Country: "DE", Resolution: geodb.ResolutionCountry,
+	})
+	b.AddPrefix(1, ipx.MustParsePrefix("10.0.7.0/24"), geodb.Record{
+		Country: "FR", City: "Paris",
+		Coord: geo.Coordinate{Lat: 48.8566, Lon: 2.3522}, Resolution: geodb.ResolutionCity,
+	})
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "lo,hi,country,city,lat,lon,resolution,block_bits\n") {
+		t.Errorf("missing header: %q", buf.String()[:60])
+	}
+	back, err := Read(&buf, "csvdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("len %d != %d", back.Len(), db.Len())
+	}
+	for _, ip := range []string{"10.0.0.1", "10.0.7.200", "10.1.3.4", "10.2.0.1"} {
+		a := ipx.MustParseAddr(ip)
+		want, wantOK := db.Lookup(a)
+		got, ok := back.Lookup(a)
+		if ok != wantOK {
+			t.Fatalf("%s: found %v, want %v", ip, ok, wantOK)
+		}
+		if ok {
+			// Coordinates travel with 4-decimal precision; compare coarsely.
+			if got.Country != want.Country || got.City != want.City ||
+				got.Resolution != want.Resolution || got.BlockBits != want.BlockBits {
+				t.Fatalf("%s: %+v != %+v", ip, got, want)
+			}
+			if !got.Coord.WithinKm(want.Coord, 0.05) {
+				t.Fatalf("%s: coordinate drift %v vs %v", ip, got.Coord, want.Coord)
+			}
+		}
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	csvText := "10.0.0.0,10.0.0.255,US,Dallas,32.7767,-96.7970,city,24\n"
+	db, err := Read(strings.NewReader(csvText), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := db.Lookup(ipx.MustParseAddr("10.0.0.77"))
+	if !ok || rec.City != "Dallas" || rec.BlockBits != 24 {
+		t.Errorf("record = %+v, %v", rec, ok)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad lo":         "banana,10.0.0.255,US,,,,country,24\n",
+		"bad hi":         "10.0.0.0,banana,US,,,,country,24\n",
+		"inverted":       "10.0.1.0,10.0.0.0,US,,,,country,24\n",
+		"bad lat":        "10.0.0.0,10.0.0.255,US,Dallas,banana,1.0,city,24\n",
+		"out of range":   "10.0.0.0,10.0.0.255,US,Dallas,99.0,1.0,city,24\n",
+		"bad resolution": "10.0.0.0,10.0.0.255,US,,,,galaxy,24\n",
+		"bad bits":       "10.0.0.0,10.0.0.255,US,,,,country,77\n",
+		"short row":      "10.0.0.0,10.0.0.255,US\n",
+		"overlap":        "10.0.0.0,10.0.0.255,US,,,,country,24\n10.0.0.128,10.0.1.0,DE,,,,country,24\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text), "x"); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db := sample(t)
+	path := filepath.Join(t.TempDir(), "db.csv")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, "fromfile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "fromfile" || back.Len() != db.Len() {
+		t.Errorf("file round trip: %s/%d", back.Name(), back.Len())
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db, err := geodb.NewBuilder("empty").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty round trip has %d entries", back.Len())
+	}
+}

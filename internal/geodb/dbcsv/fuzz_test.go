@@ -1,0 +1,27 @@
+package dbcsv
+
+import (
+	"strings"
+	"testing"
+
+	"routergeo/internal/ipx"
+)
+
+// FuzzRead hardens the CSV parser: arbitrary text must yield an error or
+// a valid, queryable database — never a panic.
+func FuzzRead(f *testing.F) {
+	f.Add("lo,hi,country,city,lat,lon,resolution,block_bits\n" +
+		"10.0.0.0,10.0.0.255,US,Dallas,32.7767,-96.7970,city,24\n")
+	f.Add("10.0.0.0,10.0.0.255,US,,,,country,24\n")
+	f.Add("")
+	f.Add(",,,,,,,\n")
+	f.Add("a,b,c,d,e,f,g,h\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		db, err := Read(strings.NewReader(text), "fuzz")
+		if err != nil {
+			return
+		}
+		db.Lookup(ipx.MustParseAddr("10.0.0.1"))
+	})
+}

@@ -1,0 +1,60 @@
+package dbfile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+func benchDB(b *testing.B, entries int) *geodb.DB {
+	b.Helper()
+	builder := geodb.NewBuilder("bench")
+	base := ipx.MustParseAddr("20.0.0.0")
+	for i := 0; i < entries; i++ {
+		lo := base + ipx.Addr(i*256)
+		builder.Add(0, ipx.Range{Lo: lo, Hi: lo + 255}, geodb.Record{
+			Country: "US", City: fmt.Sprintf("City%d", i%500),
+			Coord:      geo.Coordinate{Lat: float64(i%90) + 0.5, Lon: float64(i%180) + 0.5},
+			Resolution: geodb.ResolutionCity, BlockBits: 24,
+		})
+	}
+	db, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkWrite measures serializing a 10k-range database.
+func BenchmarkWrite(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRead measures parsing it back.
+func BenchmarkRead(b *testing.B) {
+	db := benchDB(b, 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

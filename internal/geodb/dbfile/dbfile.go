@@ -1,0 +1,285 @@
+// Package dbfile serializes geodb databases to a compact binary format,
+// playing the role of the vendor file formats (MaxMind's mmdb,
+// IP2Location's BIN, NetAcuity's db files): a sorted table of address
+// ranges referencing a deduplicated location table.
+//
+// Layout (all integers little-endian):
+//
+//	magic     "RGDB"            4 bytes
+//	version   uint16            currently 1
+//	nameLen   uint16, name      database name
+//	locCount  uint32
+//	locations locCount times:
+//	    country   2 bytes (ISO2, zero-padded)
+//	    res       uint8
+//	    blockBits uint8
+//	    lat, lon  float64
+//	    cityLen   uint16, city
+//	rangeCount uint32
+//	ranges     rangeCount times: lo uint32, hi uint32, locIdx uint32
+//
+// Ranges must be sorted and disjoint; ReadFrom validates both.
+package dbfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+const (
+	magic   = "RGDB"
+	version = 1
+)
+
+// Write serializes db.
+func Write(w io.Writer, db *geodb.DB) error {
+	bw := bufio.NewWriter(w)
+
+	// Deduplicate locations.
+	type locKey struct {
+		country, city string
+		lat, lon      float64
+		res           geodb.Resolution
+		bits          uint8
+	}
+	locIdx := map[locKey]uint32{}
+	var locs []locKey
+	type rangeEnt struct {
+		r   ipx.Range
+		loc uint32
+	}
+	var ranges []rangeEnt
+	db.Walk(func(r ipx.Range, rec geodb.Record) bool {
+		k := locKey{
+			country: rec.Country, city: rec.City,
+			lat: rec.Coord.Lat, lon: rec.Coord.Lon,
+			res: rec.Resolution, bits: rec.BlockBits,
+		}
+		idx, ok := locIdx[k]
+		if !ok {
+			idx = uint32(len(locs))
+			locIdx[k] = idx
+			locs = append(locs, k)
+		}
+		ranges = append(ranges, rangeEnt{r: r, loc: idx})
+		return true
+	})
+
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := writeString16(bw, db.Name()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(locs))); err != nil {
+		return err
+	}
+	for _, l := range locs {
+		var cc [2]byte
+		copy(cc[:], l.country)
+		if _, err := bw.Write(cc[:]); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(l.res)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(l.bits); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.lat); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, l.lon); err != nil {
+			return err
+		}
+		if err := writeString16(bw, l.city); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ranges))); err != nil {
+		return err
+	}
+	for _, re := range ranges {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(re.r.Lo)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(re.r.Hi)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, re.loc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a database written by Write.
+func Read(r io.Reader) (*geodb.DB, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("dbfile: header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("dbfile: bad magic %q", head)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("dbfile: unsupported version %d", ver)
+	}
+	name, err := readString16(br)
+	if err != nil {
+		return nil, err
+	}
+
+	var locCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &locCount); err != nil {
+		return nil, err
+	}
+	if locCount > 1<<26 {
+		return nil, fmt.Errorf("dbfile: implausible location count %d", locCount)
+	}
+	// Grow incrementally rather than trusting the declared count: a forged
+	// header must not be able to pre-allocate gigabytes before the stream
+	// runs dry (each location costs at least 22 bytes on the wire).
+	locs := make([]geodb.Record, 0, minU32(locCount, 4096))
+	for i := uint32(0); i < locCount; i++ {
+		cc := make([]byte, 2)
+		if _, err := io.ReadFull(br, cc); err != nil {
+			return nil, err
+		}
+		res, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		bits, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		var lat, lon float64
+		if err := binary.Read(br, binary.LittleEndian, &lat); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lon); err != nil {
+			return nil, err
+		}
+		city, err := readString16(br)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(lat) || math.IsNaN(lon) {
+			return nil, fmt.Errorf("dbfile: NaN coordinates in location %d", i)
+		}
+		country := string(cc)
+		if cc[0] == 0 {
+			country = ""
+		}
+		locs = append(locs, geodb.Record{
+			Country:    country,
+			City:       city,
+			Coord:      geo.Coordinate{Lat: lat, Lon: lon},
+			Resolution: geodb.Resolution(res),
+			BlockBits:  bits,
+		})
+	}
+
+	var rangeCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &rangeCount); err != nil {
+		return nil, err
+	}
+	if rangeCount > 1<<28 {
+		return nil, fmt.Errorf("dbfile: implausible range count %d", rangeCount)
+	}
+	b := geodb.NewBuilder(name)
+	for i := uint32(0); i < rangeCount; i++ {
+		var lo, hi, loc uint32
+		if err := binary.Read(br, binary.LittleEndian, &lo); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &hi); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &loc); err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("dbfile: inverted range entry %d", i)
+		}
+		if loc >= uint32(len(locs)) {
+			return nil, fmt.Errorf("dbfile: range %d references location %d of %d", i, loc, len(locs))
+		}
+		b.Add(0, ipx.Range{Lo: ipx.Addr(lo), Hi: ipx.Addr(hi)}, locs[loc])
+	}
+	db, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dbfile: %w", err)
+	}
+	return db, nil
+}
+
+// WriteFile writes db to path.
+func WriteFile(path string, db *geodb.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a database from path.
+func ReadFile(path string) (*geodb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func writeString16(w *bufio.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("dbfile: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString16(r *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,183 @@
+package dbfile
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+func buildSample(t *testing.T) *geodb.DB {
+	t.Helper()
+	b := geodb.NewBuilder("SampleDB")
+	b.AddPrefix(0, ipx.MustParsePrefix("10.0.0.0/16"), geodb.Record{
+		Country: "US", City: "Dallas",
+		Coord: geo.Coordinate{Lat: 32.7767, Lon: -96.797}, Resolution: geodb.ResolutionCity,
+	})
+	b.AddPrefix(0, ipx.MustParsePrefix("10.1.0.0/16"), geodb.Record{
+		Country: "DE", Resolution: geodb.ResolutionCountry,
+	})
+	b.AddPrefix(1, ipx.MustParsePrefix("10.0.7.0/24"), geodb.Record{
+		Country: "FR", City: "Paris",
+		Coord: geo.Coordinate{Lat: 48.8566, Lon: 2.3522}, Resolution: geodb.ResolutionCity,
+	})
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := buildSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "SampleDB" {
+		t.Errorf("name = %q", back.Name())
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("len = %d, want %d", back.Len(), db.Len())
+	}
+	for _, ip := range []string{"10.0.0.1", "10.0.7.9", "10.1.200.3", "10.0.255.255"} {
+		a := ipx.MustParseAddr(ip)
+		want, wantOK := db.Lookup(a)
+		got, ok := back.Lookup(a)
+		if ok != wantOK || got != want {
+			t.Errorf("Lookup(%s): %+v,%v vs original %+v,%v", ip, got, ok, want, wantOK)
+		}
+	}
+	// Misses survive too.
+	if _, ok := back.Lookup(ipx.MustParseAddr("11.0.0.1")); ok {
+		t.Error("miss became a hit after round trip")
+	}
+}
+
+func TestRoundTripLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := geodb.NewBuilder("big")
+	base := ipx.MustParseAddr("50.0.0.0")
+	for i := 0; i < 5000; i++ {
+		lo := base + ipx.Addr(i*300)
+		hi := lo + ipx.Addr(rng.Intn(250))
+		rec := geodb.Record{
+			Country:    string([]byte{byte('A' + i%26), byte('A' + (i/26)%26)}),
+			Resolution: geodb.ResolutionCountry,
+			BlockBits:  uint8(16 + i%17),
+		}
+		if i%3 == 0 {
+			rec.City = "City"
+			rec.Coord = geo.Coordinate{Lat: float64(i%180) - 90, Lon: float64(i%360) - 180}
+			rec.Resolution = geodb.ResolutionCity
+		}
+		b.Add(0, ipx.Range{Lo: lo, Hi: hi}, rec)
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("len mismatch %d vs %d", back.Len(), db.Len())
+	}
+	for i := 0; i < 2000; i++ {
+		a := base + ipx.Addr(rng.Intn(5000*300))
+		want, wantOK := db.Lookup(a)
+		got, ok := back.Lookup(a)
+		if ok != wantOK || got != want {
+			t.Fatalf("Lookup(%v) diverged after round trip", a)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db := buildSample(t)
+	path := filepath.Join(t.TempDir(), "sample.rgdb")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || back.Name() != db.Name() {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("RG"),
+		"bad magic":   []byte("XXXX\x01\x00"),
+		"truncated":   []byte("RGDB\x01\x00\x05\x00ab"),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted garbage", name)
+		}
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	db := buildSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReadRejectsBadLocationIndex(t *testing.T) {
+	db := buildSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The final 4 bytes are the last range's location index; point it
+	// beyond the table.
+	data[len(data)-1] = 0xff
+	data[len(data)-2] = 0xff
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("out-of-range location index accepted")
+	}
+}
+
+func TestEmptyDatabaseRoundTrip(t *testing.T) {
+	db, err := geodb.NewBuilder("empty").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || back.Name() != "empty" {
+		t.Error("empty database round trip failed")
+	}
+}

@@ -1,0 +1,47 @@
+package dbfile
+
+import (
+	"bytes"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// FuzzRead hardens the binary parser: arbitrary input must produce an
+// error or a valid database — never a panic or a runaway allocation.
+// The seed corpus includes a valid file so mutations explore deep paths.
+func FuzzRead(f *testing.F) {
+	b := geodb.NewBuilder("seed")
+	b.AddPrefix(0, ipx.MustParsePrefix("10.0.0.0/16"), geodb.Record{
+		Country: "US", City: "Dallas",
+		Coord: geo.Coordinate{Lat: 32.77, Lon: -96.8}, Resolution: geodb.ResolutionCity,
+	})
+	db, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("RGDB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed database must be queryable.
+		got.Lookup(ipx.MustParseAddr("10.0.0.1"))
+		got.Walk(func(r ipx.Range, rec geodb.Record) bool {
+			if r.Lo > r.Hi {
+				t.Fatalf("parsed inverted range %v", r)
+			}
+			return true
+		})
+	})
+}

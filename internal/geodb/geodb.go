@@ -1,0 +1,209 @@
+// Package geodb defines the geolocation-database model the evaluation
+// consumes: a Provider answers IP lookups with a location Record at
+// country or city resolution, exactly the query interface MaxMind,
+// IP2Location and NetAcuity expose. The concrete DB type is an immutable
+// sorted range database (the layout those products actually ship) built
+// through a layered Builder, plus a binary file format in the dbfile
+// subpackage.
+package geodb
+
+import (
+	"fmt"
+	"sort"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/ipx"
+)
+
+// Resolution is the finest granularity a record answers at.
+type Resolution uint8
+
+const (
+	// ResolutionNone marks an absent or empty record.
+	ResolutionNone Resolution = iota
+	// ResolutionCountry records carry only a country code.
+	ResolutionCountry
+	// ResolutionCity records carry country, city name and coordinates.
+	ResolutionCity
+)
+
+// String names the resolution.
+func (r Resolution) String() string {
+	switch r {
+	case ResolutionCountry:
+		return "country"
+	case ResolutionCity:
+		return "city"
+	default:
+		return "none"
+	}
+}
+
+// Record is one geolocation answer.
+type Record struct {
+	// Country is the ISO2 country code ("" when unknown).
+	Country string
+	// City is the city name at city resolution ("" otherwise).
+	City string
+	// Coord is set at city resolution; (0,0) means no coordinates.
+	Coord geo.Coordinate
+	// Resolution is the record's granularity.
+	Resolution Resolution
+	// BlockBits is the prefix length of the database entry that produced
+	// this answer (e.g. 24 for a /24 record, 19 for a whole-delegation
+	// record, 32 for a per-address entry). The paper's §5.2.3 uses exactly
+	// this signal: "block-level — /24 block or larger — locations".
+	BlockBits uint8
+}
+
+// HasCountry reports whether the record answers at country level or finer.
+func (r Record) HasCountry() bool { return r.Resolution >= ResolutionCountry && r.Country != "" }
+
+// HasCity reports whether the record answers at city level with
+// coordinates.
+func (r Record) HasCity() bool {
+	return r.Resolution == ResolutionCity && r.City != "" && !r.Coord.IsZero()
+}
+
+// BlockLevel reports whether the record came from a /24-or-coarser entry.
+func (r Record) BlockLevel() bool { return r.BlockBits <= 24 }
+
+// Provider is the query interface the evaluation runs against.
+type Provider interface {
+	// Name identifies the database (e.g. "NetAcuity").
+	Name() string
+	// Lookup resolves one address; ok is false when the database has no
+	// record covering it.
+	Lookup(a ipx.Addr) (Record, bool)
+}
+
+// DB is an immutable sorted-range geolocation database.
+type DB struct {
+	name string
+	m    ipx.RangeMap[Record]
+}
+
+// Name implements Provider.
+func (d *DB) Name() string { return d.name }
+
+// Lookup implements Provider.
+func (d *DB) Lookup(a ipx.Addr) (Record, bool) { return d.m.Lookup(a) }
+
+// Len returns the number of range entries.
+func (d *DB) Len() int { return d.m.Len() }
+
+// Walk visits every entry in address order.
+func (d *DB) Walk(fn func(ipx.Range, Record) bool) { d.m.Walk(fn) }
+
+// Builder assembles a DB from layered records: vendors lay down coarse
+// registration-derived records and override parts of them with finer
+// evidence (measurement corrections, per-address hostname hints). Higher
+// layers win; Build flattens the layers into disjoint ranges.
+type Builder struct {
+	name   string
+	layers map[int][]entry
+}
+
+type entry struct {
+	r   ipx.Range
+	rec Record
+}
+
+// NewBuilder starts a database named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, layers: make(map[int][]entry)}
+}
+
+// Add places a record on a layer. Records within one layer must be
+// disjoint (Build reports an error otherwise); records on higher layers
+// shadow lower ones where they overlap.
+func (b *Builder) Add(layer int, r ipx.Range, rec Record) {
+	b.layers[layer] = append(b.layers[layer], entry{r: r, rec: rec})
+}
+
+// AddPrefix is Add for a CIDR block, filling Record.BlockBits from the
+// prefix length if unset.
+func (b *Builder) AddPrefix(layer int, p ipx.Prefix, rec Record) {
+	if rec.BlockBits == 0 {
+		rec.BlockBits = p.Bits
+	}
+	b.Add(layer, ipx.RangeOf(p), rec)
+}
+
+// Build flattens the layers into a queryable database.
+func (b *Builder) Build() (*DB, error) {
+	var order []int
+	for l := range b.layers {
+		order = append(order, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+
+	db := &DB{name: b.name}
+	var covered coverage
+	for _, l := range order {
+		entries := b.layers[l]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].r.Lo < entries[j].r.Lo })
+		for i := 1; i < len(entries); i++ {
+			if entries[i].r.Lo <= entries[i-1].r.Hi {
+				return nil, fmt.Errorf("geodb: %s layer %d: overlapping records %v and %v",
+					b.name, l, entries[i-1].r, entries[i].r)
+			}
+		}
+		for _, e := range entries {
+			for _, frag := range covered.subtract(e.r) {
+				db.m.Add(frag, e.rec)
+			}
+			covered.insert(e.r)
+		}
+	}
+	if err := db.m.Build(); err != nil {
+		return nil, fmt.Errorf("geodb: %s: %w", b.name, err)
+	}
+	return db, nil
+}
+
+// coverage tracks the union of inserted ranges as a sorted, merged list.
+type coverage struct {
+	rs []ipx.Range
+}
+
+// subtract returns the parts of r not yet covered.
+func (c *coverage) subtract(r ipx.Range) []ipx.Range {
+	var out []ipx.Range
+	lo := r.Lo
+	i := sort.Search(len(c.rs), func(i int) bool { return c.rs[i].Hi >= r.Lo })
+	for ; i < len(c.rs) && c.rs[i].Lo <= r.Hi; i++ {
+		if c.rs[i].Lo > lo {
+			out = append(out, ipx.Range{Lo: lo, Hi: c.rs[i].Lo - 1})
+		}
+		if c.rs[i].Hi >= r.Hi {
+			return out
+		}
+		lo = c.rs[i].Hi + 1
+	}
+	if lo <= r.Hi {
+		out = append(out, ipx.Range{Lo: lo, Hi: r.Hi})
+	}
+	return out
+}
+
+// insert adds r to the covered set, merging neighbours.
+func (c *coverage) insert(r ipx.Range) {
+	i := sort.Search(len(c.rs), func(i int) bool { return c.rs[i].Lo > r.Lo })
+	c.rs = append(c.rs, ipx.Range{})
+	copy(c.rs[i+1:], c.rs[i:])
+	c.rs[i] = r
+	// Merge around i.
+	merged := c.rs[:0]
+	for _, cur := range c.rs {
+		n := len(merged)
+		if n > 0 && (cur.Lo <= merged[n-1].Hi || (merged[n-1].Hi != ^ipx.Addr(0) && cur.Lo == merged[n-1].Hi+1)) {
+			if cur.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = cur.Hi
+			}
+			continue
+		}
+		merged = append(merged, cur)
+	}
+	c.rs = merged
+}

@@ -1,0 +1,206 @@
+// Package httpapi serves geolocation databases over HTTP, the way the
+// commercial products the paper studies are consumed in practice
+// (MaxMind's GeoIP2 Precision and IP2Location expose near-identical
+// JSON lookup endpoints). It also provides the matching client, so the
+// evaluation in internal/core can run unchanged against a remote
+// database by wrapping the client in the geodb.Provider interface.
+//
+// Endpoints:
+//
+//	GET /v1/databases           list served database names
+//	GET /v1/lookup?ip=A[&db=N]  look an address up in one or all databases
+//	GET /healthz                liveness
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// RecordJSON is the wire form of one geolocation answer.
+type RecordJSON struct {
+	Country    string  `json:"country,omitempty"`
+	City       string  `json:"city,omitempty"`
+	Lat        float64 `json:"lat,omitempty"`
+	Lon        float64 `json:"lon,omitempty"`
+	Resolution string  `json:"resolution"`
+	BlockBits  uint8   `json:"block_bits,omitempty"`
+	Found      bool    `json:"found"`
+}
+
+func toJSON(rec geodb.Record, found bool) RecordJSON {
+	if !found {
+		return RecordJSON{Resolution: "none"}
+	}
+	return RecordJSON{
+		Country:    rec.Country,
+		City:       rec.City,
+		Lat:        rec.Coord.Lat,
+		Lon:        rec.Coord.Lon,
+		Resolution: rec.Resolution.String(),
+		BlockBits:  rec.BlockBits,
+		Found:      true,
+	}
+}
+
+// LookupResponse is the /v1/lookup payload.
+type LookupResponse struct {
+	IP      string                `json:"ip"`
+	Results map[string]RecordJSON `json:"results"`
+}
+
+// NewHandler serves the given databases.
+func NewHandler(dbs []*geodb.DB) http.Handler {
+	byName := make(map[string]*geodb.DB, len(dbs))
+	var names []string
+	for _, db := range dbs {
+		byName[db.Name()] = db
+		names = append(names, db.Name())
+	}
+	sort.Strings(names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, names)
+	})
+	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+		ipStr := r.URL.Query().Get("ip")
+		addr, err := ipx.ParseAddr(ipStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid or missing ip parameter"})
+			return
+		}
+		resp := LookupResponse{IP: addr.String(), Results: map[string]RecordJSON{}}
+		if dbName := r.URL.Query().Get("db"); dbName != "" {
+			db, ok := byName[dbName]
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown database " + dbName})
+				return
+			}
+			rec, found := db.Lookup(addr)
+			resp.Results[dbName] = toJSON(rec, found)
+		} else {
+			for name, db := range byName {
+				rec, found := db.Lookup(addr)
+				resp.Results[name] = toJSON(rec, found)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding to a ResponseWriter cannot meaningfully recover; ignore the
+	// error as net/http handlers conventionally do after headers are sent.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client talks to a server created by NewHandler.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// DB optionally pins every lookup to one database; required for the
+	// geodb.Provider adapter.
+	DB string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Databases lists the server's databases.
+func (c *Client) Databases() ([]string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/databases")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: databases: status %d", resp.StatusCode)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// LookupAll queries every database for one address.
+func (c *Client) LookupAll(ip string) (LookupResponse, error) {
+	return c.lookup(ip, "")
+}
+
+func (c *Client) lookup(ip, db string) (LookupResponse, error) {
+	u := c.BaseURL + "/v1/lookup?ip=" + url.QueryEscape(ip)
+	if db != "" {
+		u += "&db=" + url.QueryEscape(db)
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return LookupResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return LookupResponse{}, fmt.Errorf("httpapi: lookup: status %d", resp.StatusCode)
+	}
+	var out LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return LookupResponse{}, err
+	}
+	return out, nil
+}
+
+// Name implements geodb.Provider.
+func (c *Client) Name() string { return c.DB }
+
+// Lookup implements geodb.Provider over the wire, so the core evaluation
+// can score a *remote* database exactly like a local one. Transport
+// errors surface as misses, which is how a lookup service outage would
+// look to a measurement pipeline.
+func (c *Client) Lookup(a ipx.Addr) (geodb.Record, bool) {
+	if c.DB == "" {
+		return geodb.Record{}, false
+	}
+	resp, err := c.lookup(a.String(), c.DB)
+	if err != nil {
+		return geodb.Record{}, false
+	}
+	rj, ok := resp.Results[c.DB]
+	if !ok || !rj.Found {
+		return geodb.Record{}, false
+	}
+	rec := geodb.Record{
+		Country:   rj.Country,
+		City:      rj.City,
+		BlockBits: rj.BlockBits,
+	}
+	rec.Coord.Lat, rec.Coord.Lon = rj.Lat, rj.Lon
+	switch rj.Resolution {
+	case "city":
+		rec.Resolution = geodb.ResolutionCity
+	case "country":
+		rec.Resolution = geodb.ResolutionCountry
+	}
+	return rec, true
+}
+
+// compile-time interface check
+var _ geodb.Provider = (*Client)(nil)

@@ -1,0 +1,70 @@
+package groundtruth
+
+import (
+	"testing"
+
+	"routergeo/internal/ark"
+	"routergeo/internal/atlas"
+	"routergeo/internal/hints"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rdns"
+)
+
+type benchEnv struct {
+	w     *netsim.World
+	coll  *ark.Collection
+	zone  *rdns.Zone
+	dec   *hints.Decoder
+	fleet *atlas.Fleet
+	ms    []atlas.Measurement
+}
+
+var cachedBench *benchEnv
+
+func benchSetup(b *testing.B) *benchEnv {
+	b.Helper()
+	if cachedBench != nil {
+		return cachedBench
+	}
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 31
+	cfg.ASes = 250
+	w, err := netsim.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := hints.NewDictionary(w.Gaz)
+	e := &benchEnv{
+		w:    w,
+		coll: ark.Collect(w, ark.DefaultConfig()),
+		zone: rdns.Synthesize(w, dict, rdns.DefaultConfig()),
+		dec:  hints.NewDecoder(dict),
+	}
+	fc := atlas.DefaultConfig()
+	fc.Probes = 700
+	e.fleet = atlas.Deploy(w, fc)
+	e.ms = e.fleet.RunBuiltins(3)
+	cachedBench = e
+	return e
+}
+
+// BenchmarkBuildDNS measures the DNS-based ground-truth construction.
+func BenchmarkBuildDNS(b *testing.B) {
+	e := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDNS(e.w, e.coll, e.zone, e.dec)
+	}
+}
+
+// BenchmarkBuildRTT measures the RTT-proximity construction including
+// both §3.2 disqualification filters.
+func BenchmarkBuildRTT(b *testing.B) {
+	e := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRTT(e.w, e.fleet, e.ms, DefaultRTTConfig())
+	}
+}

@@ -1,0 +1,66 @@
+package groundtruth
+
+import (
+	"routergeo/internal/ark"
+	"routergeo/internal/hints"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rdns"
+)
+
+// DNSStats reports the funnel of the DNS-based construction (§2.3.1): how
+// many Ark interfaces had hostnames, how many fell under the seven
+// ground-truth domains, and how many of those decoded.
+type DNSStats struct {
+	ArkInterfaces   int
+	WithHostname    int
+	InGTDomains     int
+	Decoded         int
+	PerDomainCounts map[string]int
+}
+
+// BuildDNS derives the DNS-based ground truth from an Ark collection:
+// reverse-resolve every observed interface, keep the seven confirmed
+// domains, decode the location hints. Locations are the decoded cities'
+// coordinates; interfaces whose names carry no decodable hint are dropped
+// (the paper geolocated 11,857 of ~13.5K candidate addresses).
+func BuildDNS(w *netsim.World, coll *ark.Collection, zone *rdns.Zone, dec *hints.Decoder) (*Dataset, DNSStats) {
+	gtDomains := map[string]bool{}
+	for _, d := range hints.GroundTruthDomains() {
+		gtDomains[d] = true
+	}
+	stats := DNSStats{
+		ArkInterfaces:   len(coll.Interfaces),
+		PerDomainCounts: map[string]int{},
+	}
+	var entries []Entry
+	for _, id := range coll.Interfaces {
+		name, ok := zone.Lookup(id)
+		if !ok {
+			continue
+		}
+		stats.WithHostname++
+		// The paper filters by domain suffix first, then applies the
+		// domain's rule. Our AS model knows the operator domain; the real
+		// pipeline infers it from the name — same outcome.
+		domain := w.ASOfIface(id).Domain
+		if !gtDomains[domain] {
+			continue
+		}
+		stats.InGTDomains++
+		city, ruleDomain, ok := dec.Decode(name)
+		if !ok || ruleDomain != domain {
+			continue
+		}
+		stats.Decoded++
+		stats.PerDomainCounts[domain]++
+		entries = append(entries, Entry{
+			Iface:   id,
+			Addr:    w.Interfaces[id].Addr,
+			Coord:   city.Coord,
+			Country: city.Country,
+			Method:  DNS,
+			Domain:  domain,
+		})
+	}
+	return NewDataset("DNS-based", entries), stats
+}

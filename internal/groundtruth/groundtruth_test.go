@@ -1,0 +1,326 @@
+package groundtruth
+
+import (
+	"math/rand"
+	"testing"
+
+	"routergeo/internal/ark"
+	"routergeo/internal/atlas"
+	"routergeo/internal/geo"
+	"routergeo/internal/hints"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rdns"
+)
+
+type env struct {
+	w     *netsim.World
+	coll  *ark.Collection
+	zone  *rdns.Zone
+	dec   *hints.Decoder
+	fleet *atlas.Fleet
+	ms    []atlas.Measurement
+	dns   *Dataset
+	dnsSt DNSStats
+	rtt   *Dataset
+	rttSt RTTStats
+}
+
+var cached *env
+
+func setup(t *testing.T) *env {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 31
+	cfg.ASes = 250
+	w, err := netsim.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := hints.NewDictionary(w.Gaz)
+	e := &env{
+		w:    w,
+		coll: ark.Collect(w, ark.DefaultConfig()),
+		zone: rdns.Synthesize(w, dict, rdns.DefaultConfig()),
+		dec:  hints.NewDecoder(dict),
+	}
+	fc := atlas.DefaultConfig()
+	fc.Probes = 700
+	e.fleet = atlas.Deploy(w, fc)
+	e.ms = e.fleet.RunBuiltins(3)
+	e.dns, e.dnsSt = BuildDNS(w, e.coll, e.zone, e.dec)
+	e.rtt, e.rttSt = BuildRTT(w, e.fleet, e.ms, DefaultRTTConfig())
+	cached = e
+	return e
+}
+
+func TestDNSDatasetNonTrivial(t *testing.T) {
+	e := setup(t)
+	if e.dns.Len() < 200 {
+		t.Fatalf("DNS dataset has only %d entries", e.dns.Len())
+	}
+	// Funnel sanity: decoded <= in-domain <= with-hostname <= ark.
+	s := e.dnsSt
+	if !(s.Decoded <= s.InGTDomains && s.InGTDomains <= s.WithHostname && s.WithHostname <= s.ArkInterfaces) {
+		t.Errorf("funnel out of order: %+v", s)
+	}
+	if s.Decoded != e.dns.Len() {
+		t.Errorf("decoded %d != dataset %d", s.Decoded, e.dns.Len())
+	}
+	// All seven domains should contribute, cogent the most (it has the
+	// largest footprint, as in the paper's Table of §2.3.1).
+	if len(s.PerDomainCounts) < 6 {
+		t.Errorf("only %d domains contributed: %v", len(s.PerDomainCounts), s.PerDomainCounts)
+	}
+	for d, n := range s.PerDomainCounts {
+		if d != "cogentco.com" && n > s.PerDomainCounts["cogentco.com"] {
+			t.Errorf("%s (%d) outweighs cogent (%d)", d, n, s.PerDomainCounts["cogentco.com"])
+		}
+	}
+}
+
+func TestDNSLocationsAccurate(t *testing.T) {
+	// The DNS method must be *approximately* right (that is why the paper
+	// uses it as ground truth): nearly all entries within the city range
+	// of the interface's true location.
+	e := setup(t)
+	within := 0
+	for _, entry := range e.dns.Entries {
+		if entry.Coord.WithinKm(e.w.CoordOf(entry.Iface), 40) {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(e.dns.Len()); frac < 0.97 {
+		t.Errorf("only %.3f of DNS entries within 40 km of truth", frac)
+	}
+}
+
+func TestDNSDatasetARINHeavy(t *testing.T) {
+	// Five of the seven domains are ARIN operators; the DNS dataset must
+	// be ARIN-dominated like the paper's (9,588 of 11,857).
+	e := setup(t)
+	counts := e.dns.RIRCounts(e.w)
+	if counts[geo.ARIN] <= counts[geo.RIPENCC] {
+		t.Errorf("DNS dataset not ARIN-heavy: %v", counts)
+	}
+}
+
+func TestDNSTransitShare(t *testing.T) {
+	// §2.3.3: 99.9% of DNS-based addresses come from transit ASes.
+	e := setup(t)
+	if s := e.dns.TransitShare(e.w); s < 0.9 {
+		t.Errorf("DNS transit share = %.3f, want >= 0.9", s)
+	}
+}
+
+func TestRTTDatasetNonTrivial(t *testing.T) {
+	e := setup(t)
+	if e.rtt.Len() < 100 {
+		t.Fatalf("RTT dataset has only %d entries", e.rtt.Len())
+	}
+	s := e.rttSt
+	if s.Final != e.rtt.Len() {
+		t.Errorf("stats.Final %d != dataset %d", s.Final, e.rtt.Len())
+	}
+	if s.CandidateAddrs < s.Final {
+		t.Errorf("filtering grew the dataset: %+v", s)
+	}
+	if s.ProbesContributing == 0 {
+		t.Error("no contributing probes")
+	}
+}
+
+func TestRTTLocationsSound(t *testing.T) {
+	// After filtering, surviving entries should place interfaces within
+	// ~50 km (+ reporting jitter) of their true position for nearly all
+	// addresses — the residue are mislocated probes the filters missed,
+	// which the paper accepts as small (§3.2).
+	e := setup(t)
+	bad := 0
+	for _, entry := range e.rtt.Entries {
+		if !entry.Coord.WithinKm(e.w.CoordOf(entry.Iface), 55) {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(e.rtt.Len()); frac > 0.03 {
+		t.Errorf("%.3f of RTT entries are off by more than the proximity bound", frac)
+	}
+}
+
+func TestRTTFiltersCatchCentroidProbes(t *testing.T) {
+	e := setup(t)
+	// Every centroid-parked probe that contributed sightings must be
+	// caught by the first filter: reported-at-centroid is detectable by
+	// construction.
+	if e.rttSt.CentroidProbes == 0 {
+		t.Skip("no centroid probes contributed sub-threshold hops in this sample")
+	}
+	if e.rttSt.CentroidAddrsRemoved == 0 {
+		t.Error("centroid probes caught but no addresses removed")
+	}
+	// No surviving entry may carry a near-centroid location.
+	for _, entry := range e.rtt.Entries {
+		if _, near := e.w.Gaz.NearCountryCentroid(entry.Coord, 5); near {
+			t.Errorf("entry %v still located at a country centroid", entry.Addr)
+		}
+	}
+}
+
+func TestRTTMostAddressesBeyondFirstHop(t *testing.T) {
+	// §2.3.2: more than 80% of gathered addresses are at least 2 hops from
+	// their probes (so mostly not home routers).
+	e := setup(t)
+	if e.rttSt.TwoPlusHopsShare < 0.5 {
+		t.Errorf("two-plus-hop share = %.2f; expected most addresses beyond the first hop",
+			e.rttSt.TwoPlusHopsShare)
+	}
+}
+
+func TestRTTDatasetRIPEHeavy(t *testing.T) {
+	// Table 1: the probe fleet's European skew makes the RTT dataset
+	// RIPE-heavy (3,160 of 4,838).
+	e := setup(t)
+	counts := e.rtt.RIRCounts(e.w)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	frac := float64(counts[geo.RIPENCC]) / float64(total)
+	if frac < 0.30 {
+		t.Errorf("RIPE share of RTT dataset = %.2f, want >= 0.30", frac)
+	}
+	if counts[geo.RIPENCC] < counts[geo.APNIC] || counts[geo.RIPENCC] < counts[geo.LACNIC] ||
+		counts[geo.RIPENCC] < counts[geo.AFRINIC] {
+		t.Errorf("RIPE (%d) should outweigh the smaller regions: %v", counts[geo.RIPENCC], counts)
+	}
+}
+
+func TestMergePrefersDNS(t *testing.T) {
+	e := setup(t)
+	merged := Merge(e.dns, e.rtt)
+	if merged.Len() > e.dns.Len()+e.rtt.Len() {
+		t.Fatal("merge grew beyond the union")
+	}
+	common := 0
+	for _, entry := range e.rtt.Entries {
+		if _, ok := e.dns.ByAddr(entry.Addr); ok {
+			common++
+		}
+	}
+	if merged.Len() != e.dns.Len()+e.rtt.Len()-common {
+		t.Errorf("merged %d != %d + %d - %d", merged.Len(), e.dns.Len(), e.rtt.Len(), common)
+	}
+	for _, entry := range e.rtt.Entries {
+		if _, ok := e.dns.ByAddr(entry.Addr); ok {
+			got, _ := merged.ByAddr(entry.Addr)
+			if got.Method != DNS {
+				t.Fatalf("common address %v kept as %v, want DNS", entry.Addr, got.Method)
+			}
+		}
+	}
+}
+
+func TestOverlapAgreement(t *testing.T) {
+	// §3.1: DNS and RTT datasets agree closely on common addresses
+	// (105 of 109 within 10 km, all within 43 km in the paper).
+	e := setup(t)
+	s := CompareOverlap(e.dns, e.rtt)
+	if s.Common == 0 {
+		t.Skip("no overlap in this sample")
+	}
+	if frac := float64(s.Within40Km) / float64(s.Common); frac < 0.9 {
+		t.Errorf("only %.2f of common addresses agree within 40 km (max %.1f km)", frac, s.MaxKm)
+	}
+}
+
+func TestHostnameChurnBreakdown(t *testing.T) {
+	e := setup(t)
+	evo := e.w.Evolve(rand.New(rand.NewSource(5)), netsim.DefaultEvolutionParams())
+	s := HostnameChurn(e.w, e.zone, e.dec, evo, e.dns, 16)
+	if s.Total != e.dns.Len() {
+		t.Fatalf("churn total %d != dataset %d", s.Total, e.dns.Len())
+	}
+	if s.SameName+s.Renamed+s.Lost != s.Total {
+		t.Fatalf("churn categories do not partition: %+v", s)
+	}
+	if s.RenamedSameLoc+s.RenamedMovedLoc+s.RenamedNoHint != s.Renamed {
+		t.Fatalf("renamed categories do not partition: %+v", s)
+	}
+	// Paper: ~69% same, ~24% renamed, ~7% lost; generous bands.
+	same := float64(s.SameName) / float64(s.Total)
+	ren := float64(s.Renamed) / float64(s.Total)
+	lost := float64(s.Lost) / float64(s.Total)
+	if same < 0.55 || same > 0.85 {
+		t.Errorf("same-name share %.2f outside band", same)
+	}
+	if ren < 0.12 || ren > 0.38 {
+		t.Errorf("renamed share %.2f outside band", ren)
+	}
+	if lost < 0.02 || lost > 0.14 {
+		t.Errorf("lost share %.2f outside band", lost)
+	}
+	// Renames are mostly in-place (paper: 67.7% same location).
+	if s.Renamed > 0 && s.RenamedSameLoc <= s.RenamedMovedLoc {
+		t.Errorf("renames should be mostly in-place: %+v", s)
+	}
+}
+
+func TestBuild1msChurnAdjustment(t *testing.T) {
+	e := setup(t)
+	evo := e.w.Evolve(rand.New(rand.NewSource(6)), netsim.DefaultEvolutionParams())
+	oneMs := Build1ms(e.w, e.rtt, evo, 10, 0.7, 7)
+	if oneMs.Len() == 0 || oneMs.Len() > e.rtt.Len() {
+		t.Fatalf("1ms dataset size %d out of range (base %d)", oneMs.Len(), e.rtt.Len())
+	}
+	// Unmoved addresses keep their base location.
+	for _, entry := range oneMs.Entries {
+		if !evo.Moved(entry.Iface, 10) {
+			base, _ := e.rtt.ByAddr(entry.Addr)
+			if base.Coord != entry.Coord {
+				t.Fatal("unmoved entry changed location in the 1ms dataset")
+			}
+		} else if base, _ := e.rtt.ByAddr(entry.Addr); base.Coord == entry.Coord {
+			t.Fatal("moved entry kept its old location in the 1ms dataset")
+		}
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	entries := []Entry{
+		{Addr: 30, Coord: geo.Coordinate{Lat: 1, Lon: 1}, Country: "US", Method: DNS},
+		{Addr: 10, Coord: geo.Coordinate{Lat: 2, Lon: 2}, Country: "DE", Method: RTT},
+		{Addr: 10, Coord: geo.Coordinate{Lat: 9, Lon: 9}, Country: "FR", Method: DNS}, // dup, dropped
+		{Addr: 20, Coord: geo.Coordinate{Lat: 2, Lon: 2}, Country: "DE", Method: RTT},
+	}
+	d := NewDataset("t", entries)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Entries[0].Addr != 10 || d.Entries[2].Addr != 30 {
+		t.Error("entries not sorted")
+	}
+	got, ok := d.ByAddr(10)
+	if !ok || got.Country != "DE" {
+		t.Errorf("duplicate handling broke: %+v", got)
+	}
+	if d.Countries() != 2 {
+		t.Errorf("Countries = %d", d.Countries())
+	}
+	if d.UniqueCoords() != 2 {
+		t.Errorf("UniqueCoords = %d", d.UniqueCoords())
+	}
+	if MethodName := DNS.String(); MethodName != "DNS-based" {
+		t.Errorf("Method.String = %q", MethodName)
+	}
+}
+
+func TestRTTConfigProximityBound(t *testing.T) {
+	if got := DefaultRTTConfig().MaxProximityKm(); got != 50 {
+		t.Errorf("0.5 ms bound = %v km, want 50", got)
+	}
+	if got := (RTTConfig{ThresholdMs: 1}).MaxProximityKm(); got != 100 {
+		t.Errorf("1 ms bound = %v km, want 100", got)
+	}
+}

@@ -1,0 +1,46 @@
+package hints
+
+import (
+	"testing"
+
+	"routergeo/internal/gazetteer"
+)
+
+// FuzzDecode hardens the hostname decoder: arbitrary strings must decode
+// to a real gazetteer city or fail cleanly — never panic, never return a
+// fabricated location.
+func FuzzDecode(f *testing.F) {
+	f.Add("be2390.ccr41.jfk02.atlas.cogentco.com")
+	f.Add("ae-5.r23.dllsus09.us.bb.gin.ntt.net")
+	f.Add("stuttgart-rtr1.belwue.de")
+	f.Add("r7.fra02.as64599.net")
+	f.Add("")
+	f.Add("....")
+	f.Add("a.b")
+	f.Add("ип-адрес.example.com")
+
+	g := gazetteer.New()
+	dict := NewDictionary(g)
+	dec := NewDecoder(dict)
+
+	f.Fuzz(func(t *testing.T, hostname string) {
+		city, domain, ok := dec.Decode(hostname)
+		if !ok {
+			return
+		}
+		if _, exists := g.City(city.Country, city.Name); !exists {
+			t.Fatalf("Decode(%q) fabricated city %s/%s", hostname, city.Country, city.Name)
+		}
+		if domain != "" {
+			found := false
+			for _, d := range GroundTruthDomains() {
+				if d == domain {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Decode(%q) reported unknown rule domain %q", hostname, domain)
+			}
+		}
+	})
+}

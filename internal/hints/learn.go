@@ -1,0 +1,144 @@
+package hints
+
+import (
+	"sort"
+	"strings"
+)
+
+// Example is one training pair for rule inference: a hostname whose
+// interface's location is known (from latency proximity, in DRoP's case).
+type Example struct {
+	Hostname string
+	// Country and City name the known location, matched against the
+	// dictionary's cities.
+	Country string
+	City    string
+}
+
+// LearnedRule is an inferred domain-specific extraction rule, the artifact
+// DRoP (Huffaker et al. 2014) mines from measurement data: for hostnames
+// under Suffix, the location token sits in the LabelFromEnd-th label
+// before the suffix (1 = rightmost), optionally as the head of a
+// dash-separated label, with trailing digits stripped.
+type LearnedRule struct {
+	Suffix       string
+	LabelFromEnd int
+	DashHead     bool
+	// Support is the number of training examples the rule decoded;
+	// Accuracy the fraction it decoded to the correct city.
+	Support  int
+	Accuracy float64
+}
+
+// Extract applies the learned rule to the labels preceding the suffix,
+// mirroring Rule.Extract.
+func (r LearnedRule) Extract(labels []string) string {
+	i := len(labels) - r.LabelFromEnd
+	if i < 0 || i >= len(labels) {
+		return ""
+	}
+	tok := labels[i]
+	if r.DashHead {
+		head, _, found := strings.Cut(tok, "-")
+		if !found {
+			return ""
+		}
+		tok = head
+	}
+	return stripDigits(tok)
+}
+
+// AsRule converts the learned rule into the decoder's rule shape.
+func (r LearnedRule) AsRule() Rule {
+	return Rule{Suffix: r.Suffix, Extract: r.Extract}
+}
+
+// LearnRules infers per-domain extraction rules from training examples.
+// For every two-label domain suffix with at least minSupport examples it
+// tries each candidate token position (and the dash-head variant) and
+// keeps the best-scoring candidate whose accuracy reaches minAccuracy.
+// Rules are returned sorted by suffix.
+//
+// This is the data-driven counterpart to the operator-confirmed rules in
+// NewDecoder: DRoP learned its 1,398 domain rules exactly this way, and
+// the paper trusted only the seven with operator confirmation.
+func LearnRules(dict *Dictionary, samples []Example, minSupport int, minAccuracy float64) []LearnedRule {
+	byDomain := map[string][]Example{}
+	for _, s := range samples {
+		host := strings.ToLower(strings.TrimSuffix(s.Hostname, "."))
+		labels := strings.Split(host, ".")
+		if len(labels) < 3 {
+			continue
+		}
+		suffix := strings.Join(labels[len(labels)-2:], ".")
+		byDomain[suffix] = append(byDomain[suffix], s)
+	}
+
+	var out []LearnedRule
+	for suffix, examples := range byDomain {
+		if len(examples) < minSupport {
+			continue
+		}
+		best := LearnedRule{}
+		bestCorrect := 0
+		for labelFromEnd := 1; labelFromEnd <= 6; labelFromEnd++ {
+			for _, dashHead := range []bool{false, true} {
+				cand := LearnedRule{Suffix: suffix, LabelFromEnd: labelFromEnd, DashHead: dashHead}
+				support, correct := score(dict, cand, examples)
+				// Prefer more correct decodes; break ties toward the
+				// simpler rule (no dash handling, rightmost label).
+				if correct > bestCorrect {
+					cand.Support = support
+					cand.Accuracy = float64(correct) / float64(support)
+					best, bestCorrect = cand, correct
+				}
+			}
+		}
+		if bestCorrect >= minSupport && best.Accuracy >= minAccuracy {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Suffix < out[j].Suffix })
+	return out
+}
+
+// score counts how many examples a candidate rule decodes (support) and
+// how many of those land on the example's known city (correct).
+func score(dict *Dictionary, r LearnedRule, examples []Example) (support, correct int) {
+	for _, ex := range examples {
+		host := strings.ToLower(strings.TrimSuffix(ex.Hostname, "."))
+		labels := strings.Split(host, ".")
+		if len(labels) < 2 {
+			continue
+		}
+		tok := r.Extract(labels[:len(labels)-2])
+		if tok == "" {
+			continue
+		}
+		city, ok := dict.Lookup(tok)
+		if !ok {
+			continue
+		}
+		support++
+		if city.Country == ex.Country && city.Name == ex.City {
+			correct++
+		}
+	}
+	return support, correct
+}
+
+// DecoderWithLearned builds a decoder that uses the learned rules (plus
+// the generic fallback), so a learned rule set can drive the same
+// ground-truth pipeline as the built-in one.
+func DecoderWithLearned(dict *Dictionary, rules []LearnedRule) *Decoder {
+	d := &Decoder{dict: dict, rules: make(map[string]Rule)}
+	for _, r := range builtinRules() {
+		if r.Suffix == "" {
+			d.generic = r
+		}
+	}
+	for _, lr := range rules {
+		d.rules[lr.Suffix] = lr.AsRule()
+	}
+	return d
+}

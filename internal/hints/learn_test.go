@@ -1,0 +1,167 @@
+package hints
+
+import (
+	"fmt"
+	"testing"
+
+	"routergeo/internal/gazetteer"
+)
+
+func learnFixture(t *testing.T) (*gazetteer.Gazetteer, *Dictionary) {
+	t.Helper()
+	g := gazetteer.New()
+	return g, NewDictionary(g)
+}
+
+// synthExamples fabricates training pairs under one domain using a given
+// hostname renderer.
+func synthExamples(g *gazetteer.Gazetteer, dict *Dictionary, n int,
+	render func(tok string, i int) string) []Example {
+	var out []Example
+	cities := g.Cities()
+	for i := 0; len(out) < n && i < len(cities); i++ {
+		c := cities[i]
+		tok, ok := dict.BestToken(c)
+		if !ok {
+			continue
+		}
+		out = append(out, Example{
+			Hostname: render(tok, i),
+			Country:  c.Country,
+			City:     c.Name,
+		})
+	}
+	return out
+}
+
+func TestLearnRecoversSimpleRule(t *testing.T) {
+	g, dict := learnFixture(t)
+	// Generic style: r{i}.{tok}{nn}.example.net — token is label 1 from end.
+	examples := synthExamples(g, dict, 40, func(tok string, i int) string {
+		return fmt.Sprintf("r%d.%s%02d.example.net", i, tok, i%9)
+	})
+	rules := LearnRules(dict, examples, 10, 0.8)
+	if len(rules) != 1 {
+		t.Fatalf("learned %d rules, want 1: %+v", len(rules), rules)
+	}
+	r := rules[0]
+	if r.Suffix != "example.net" || r.LabelFromEnd != 1 || r.DashHead {
+		t.Errorf("learned wrong shape: %+v", r)
+	}
+	if r.Accuracy < 0.95 {
+		t.Errorf("accuracy = %v", r.Accuracy)
+	}
+}
+
+func TestLearnRecoversDashRule(t *testing.T) {
+	g, dict := learnFixture(t)
+	// peak10 style: {tok}01-rtr{i}.example.org — dash-head of label 1.
+	examples := synthExamples(g, dict, 40, func(tok string, i int) string {
+		return fmt.Sprintf("%s01-rtr%d.example.org", tok, i)
+	})
+	rules := LearnRules(dict, examples, 10, 0.8)
+	if len(rules) != 1 {
+		t.Fatalf("learned %d rules: %+v", len(rules), rules)
+	}
+	if !rules[0].DashHead || rules[0].LabelFromEnd != 1 {
+		t.Errorf("learned wrong shape: %+v", rules[0])
+	}
+}
+
+func TestLearnRecoversDeepLabelRule(t *testing.T) {
+	g, dict := learnFixture(t)
+	// ntt style: ae-1.r{i}.{tok}02.us.bb.gin.example.com — label 4 from end
+	// of the pre-suffix labels [ae-1, r{i}, tok02, us, bb, gin].
+	examples := synthExamples(g, dict, 40, func(tok string, i int) string {
+		return fmt.Sprintf("ae-1.r%d.%s02.us.bb.gin.example.com", i, tok)
+	})
+	rules := LearnRules(dict, examples, 10, 0.8)
+	if len(rules) != 1 {
+		t.Fatalf("learned %d rules: %+v", len(rules), rules)
+	}
+	if rules[0].LabelFromEnd != 4 {
+		t.Errorf("learned label %d, want 4: %+v", rules[0].LabelFromEnd, rules[0])
+	}
+}
+
+func TestLearnRejectsHintFreeDomains(t *testing.T) {
+	g, dict := learnFixture(t)
+	_ = g
+	var examples []Example
+	for i := 0; i < 40; i++ {
+		examples = append(examples, Example{
+			Hostname: fmt.Sprintf("r%d.pop%02d.noloc.net", i, i),
+			Country:  "US", City: "Dallas",
+		})
+	}
+	if rules := LearnRules(dict, examples, 10, 0.8); len(rules) != 0 {
+		t.Errorf("learned rules from hint-free names: %+v", rules)
+	}
+}
+
+func TestLearnRejectsMisleadingTokens(t *testing.T) {
+	// Hostnames that *contain* a resolvable token pointing at the wrong
+	// city must be rejected by the accuracy threshold.
+	g, dict := learnFixture(t)
+	examples := synthExamples(g, dict, 40, func(tok string, i int) string {
+		return fmt.Sprintf("r%d.%s%02d.liar.net", i, tok, i%9)
+	})
+	// Corrupt the locations: claim everything is in Dallas.
+	for i := range examples {
+		examples[i].Country, examples[i].City = "US", "Dallas"
+	}
+	if rules := LearnRules(dict, examples, 10, 0.8); len(rules) != 0 {
+		t.Errorf("learned a rule from mislabelled data: %+v", rules)
+	}
+}
+
+func TestLearnRespectsMinSupport(t *testing.T) {
+	g, dict := learnFixture(t)
+	examples := synthExamples(g, dict, 5, func(tok string, i int) string {
+		return fmt.Sprintf("r%d.%s.tiny.net", i, tok)
+	})
+	if rules := LearnRules(dict, examples, 10, 0.8); len(rules) != 0 {
+		t.Errorf("learned from %d examples despite minSupport 10", len(examples))
+	}
+}
+
+func TestLearnedRulesDriveADecoder(t *testing.T) {
+	g, dict := learnFixture(t)
+	examples := synthExamples(g, dict, 40, func(tok string, i int) string {
+		return fmt.Sprintf("core%d.%s%03d.learned.net", i, tok, i)
+	})
+	rules := LearnRules(dict, examples, 10, 0.8)
+	if len(rules) != 1 {
+		t.Fatalf("learned %d rules", len(rules))
+	}
+	dec := DecoderWithLearned(dict, rules)
+	// The learned decoder must resolve a fresh name under the domain.
+	dal, _ := g.City("US", "Dallas")
+	tok, _ := dict.BestToken(dal)
+	city, suffix, ok := dec.Decode(fmt.Sprintf("core99.%s001.learned.net", tok))
+	if !ok || city.Name != "Dallas" || suffix != "learned.net" {
+		t.Errorf("learned decode = %v %q %v", city, suffix, ok)
+	}
+	// And still reject other domains' names (generic fallback aside).
+	if _, _, ok := dec.Decode("clt01-rtr2.peak10.net"); ok {
+		t.Error("learned decoder should not know peak10's rule")
+	}
+}
+
+func TestLearnMultipleDomainsAtOnce(t *testing.T) {
+	g, dict := learnFixture(t)
+	a := synthExamples(g, dict, 30, func(tok string, i int) string {
+		return fmt.Sprintf("r%d.%s%02d.domain-a.net", i, tok, i%9)
+	})
+	b := synthExamples(g, dict, 30, func(tok string, i int) string {
+		return fmt.Sprintf("%s01-rtr%d.domain-b.org", tok, i)
+	})
+	rules := LearnRules(dict, append(a, b...), 10, 0.8)
+	if len(rules) != 2 {
+		t.Fatalf("learned %d rules: %+v", len(rules), rules)
+	}
+	// Sorted by suffix.
+	if rules[0].Suffix != "domain-a.net" || rules[1].Suffix != "domain-b.org" {
+		t.Errorf("rule order: %+v", rules)
+	}
+}

@@ -1,0 +1,173 @@
+package hints
+
+import (
+	"strings"
+
+	"routergeo/internal/gazetteer"
+)
+
+// Rule is one domain-specific decode rule: given the dot-split labels of a
+// hostname (suffix already matched), it returns the candidate location
+// token, or "" when the name carries no hint.
+type Rule struct {
+	// Suffix is the operator domain the rule applies to, e.g. "ntt.net".
+	// The empty suffix is the generic fallback rule.
+	Suffix string
+	// Extract pulls the raw token out of the labels *preceding* the suffix.
+	Extract func(labels []string) string
+}
+
+// Decoder resolves hostnames to cities using a rule set and a dictionary —
+// the DRoP pipeline. The paper only trusts rules for the seven domains
+// whose operators confirmed them; Decode reports which rule fired so
+// callers can apply the same restriction.
+type Decoder struct {
+	dict    *Dictionary
+	rules   map[string]Rule // by suffix
+	generic Rule
+}
+
+// NewDecoder builds a decoder with the built-in rules for the seven
+// ground-truth domains plus the generic fallback.
+func NewDecoder(dict *Dictionary) *Decoder {
+	d := &Decoder{dict: dict, rules: make(map[string]Rule)}
+	for _, r := range builtinRules() {
+		if r.Suffix == "" {
+			d.generic = r
+			continue
+		}
+		d.rules[r.Suffix] = r
+	}
+	return d
+}
+
+// GroundTruthDomains lists the seven operator domains with
+// operator-confirmed rules (§2.3.1).
+func GroundTruthDomains() []string {
+	return []string{
+		"belwue.de", "cogentco.com", "digitalwest.net", "ntt.net",
+		"peak10.net", "seabone.net", "pnap.net",
+	}
+}
+
+// Decode resolves a hostname. It returns the matched city, the suffix of
+// the rule that fired ("" for the generic rule), and ok=false when no rule
+// matched or the token was not in the dictionary.
+func (d *Decoder) Decode(hostname string) (city gazetteer.City, domain string, ok bool) {
+	hostname = strings.ToLower(strings.TrimSuffix(hostname, "."))
+	labels := strings.Split(hostname, ".")
+	if len(labels) < 3 {
+		return gazetteer.City{}, "", false
+	}
+	// Try the two- and three-label suffixes against the rule table.
+	for take := 2; take <= 3 && take < len(labels); take++ {
+		suffix := strings.Join(labels[len(labels)-take:], ".")
+		rule, found := d.rules[suffix]
+		if !found {
+			continue
+		}
+		tok := rule.Extract(labels[:len(labels)-take])
+		if tok == "" {
+			return gazetteer.City{}, "", false
+		}
+		c, resolved := d.dict.Lookup(tok)
+		if !resolved {
+			return gazetteer.City{}, "", false
+		}
+		return c, suffix, true
+	}
+	// Generic rule: applies to any other domain.
+	if d.generic.Extract != nil {
+		if tok := d.generic.Extract(labels[:len(labels)-2]); tok != "" {
+			if c, resolved := d.dict.Lookup(tok); resolved {
+				return c, "", true
+			}
+		}
+	}
+	return gazetteer.City{}, "", false
+}
+
+// stripDigits removes trailing decimal digits from a label.
+func stripDigits(s string) string {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	return s[:i]
+}
+
+// builtinRules returns the decode rules matching internal/rdns's hostname
+// grammars. Each rule mirrors the operator's real-world naming style:
+//
+//	cogent:      be2390.ccr41.jfk02.atlas.cogentco.com  -> "jfk"
+//	ntt:         ae-5.r23.dllsus09.us.bb.gin.ntt.net    -> "dllsus"
+//	seabone:     xe-3.rome7.fco.seabone.net             -> "fco"
+//	pnap:        core2.atl009.pnap.net                  -> "atl"
+//	peak10:      clt01-rtr2.peak10.net                  -> "clt"
+//	digitalwest: edge1.sbp.digitalwest.net              -> "sbp"
+//	belwue:      stuttgart-rtr1.belwue.de               -> "stuttgart"
+//	generic:     r7.fra02.as64599.net                   -> "fra"
+func builtinRules() []Rule {
+	label := func(labels []string, fromEnd int) string {
+		i := len(labels) - fromEnd
+		if i < 0 || i >= len(labels) {
+			return ""
+		}
+		return labels[i]
+	}
+	return []Rule{
+		{Suffix: "cogentco.com", Extract: func(l []string) string {
+			// ...ccrNN.<tok>NN.atlas  — token is 2nd from the end ("atlas"
+			// is the trailing label before the domain).
+			if label(l, 1) != "atlas" {
+				return ""
+			}
+			return stripDigits(label(l, 2))
+		}},
+		{Suffix: "ntt.net", Extract: func(l []string) string {
+			// ae-K.rNN.<tok>NN.<cc>.bb.gin — token is 4th from the end.
+			if label(l, 1) != "gin" || label(l, 2) != "bb" {
+				return ""
+			}
+			return stripDigits(label(l, 4))
+		}},
+		{Suffix: "seabone.net", Extract: func(l []string) string {
+			// xe-K.<cityname>NN.<iata> — prefer the IATA label, fall back
+			// to the city-name label.
+			if tok := label(l, 1); tok != "" && len(tok) == 3 {
+				return tok
+			}
+			return stripDigits(label(l, 2))
+		}},
+		{Suffix: "pnap.net", Extract: func(l []string) string {
+			// coreK.<tok>NNN
+			return stripDigits(label(l, 1))
+		}},
+		{Suffix: "peak10.net", Extract: func(l []string) string {
+			// <tok>NN-rtrK
+			head, _, found := strings.Cut(label(l, 1), "-")
+			if !found {
+				return ""
+			}
+			return stripDigits(head)
+		}},
+		{Suffix: "digitalwest.net", Extract: func(l []string) string {
+			// edgeK.<tok>
+			return label(l, 1)
+		}},
+		{Suffix: "belwue.de", Extract: func(l []string) string {
+			// <cityname>-rtrK
+			head, _, found := strings.Cut(label(l, 1), "-")
+			if !found {
+				return ""
+			}
+			return head
+		}},
+		{Suffix: "", Extract: func(l []string) string {
+			// rK.<tok>NN — the generic scheme used by synthetic operators.
+			// Names like rK.popNN.<domain> yield the token "pop", which the
+			// dictionary will not resolve.
+			return stripDigits(label(l, 1))
+		}},
+	}
+}

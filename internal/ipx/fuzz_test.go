@@ -1,0 +1,55 @@
+package ipx
+
+import "testing"
+
+// FuzzParseAddr checks the address parser never panics and that accepted
+// inputs round-trip through String.
+func FuzzParseAddr(f *testing.F) {
+	f.Add("0.0.0.0")
+	f.Add("255.255.255.255")
+	f.Add("10.0.0.1")
+	f.Add("::1")
+	f.Add("")
+	f.Add("1.2.3.4.5")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip broke: %q -> %v -> %q", s, a, a.String())
+		}
+	})
+}
+
+// FuzzParsePrefix checks the CIDR parser: accepted prefixes must be
+// normalized (base aligned) and self-consistent.
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("10.0.0.0/8")
+	f.Add("192.0.2.1/31")
+	f.Add("0.0.0.0/0")
+	f.Add("1.2.3.4/33")
+	f.Add("x/8")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Bits > 32 {
+			t.Fatalf("accepted /%d", p.Bits)
+		}
+		if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+			t.Fatalf("prefix %v does not contain its own bounds", p)
+		}
+		if p.First() != p.Base {
+			t.Fatalf("unnormalized base in %v", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip broke: %q -> %v", s, p)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package ipx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open... no — an *inclusive* address interval [Lo, Hi],
+// the record shape geolocation database files use (both MaxMind's legacy
+// CSV and IP2Location ship start/end columns).
+type Range struct {
+	Lo, Hi Addr
+}
+
+// RangeOf returns p's address interval.
+func RangeOf(p Prefix) Range { return Range{Lo: p.First(), Hi: p.Last()} }
+
+// Contains reports whether a falls in r.
+func (r Range) Contains(a Addr) bool { return r.Lo <= a && a <= r.Hi }
+
+// Size returns the number of addresses in r.
+func (r Range) Size() uint64 { return uint64(r.Hi) - uint64(r.Lo) + 1 }
+
+// String formats r as "lo-hi".
+func (r Range) String() string { return r.Lo.String() + "-" + r.Hi.String() }
+
+// RangeMap is a sorted, non-overlapping map from address intervals to
+// values, the core lookup structure of every simulated geolocation
+// database and of the whois registry. Build it once with Add/Build, then
+// Lookup concurrently.
+type RangeMap[V any] struct {
+	ranges []Range
+	values []V
+	built  bool
+}
+
+// Add inserts an interval. Add panics after Build; the structure is
+// immutable once built.
+func (m *RangeMap[V]) Add(r Range, v V) {
+	if m.built {
+		panic("ipx: Add after Build")
+	}
+	if r.Lo > r.Hi {
+		panic(fmt.Sprintf("ipx: inverted range %v", r))
+	}
+	m.ranges = append(m.ranges, r)
+	m.values = append(m.values, v)
+}
+
+// AddPrefix inserts a CIDR block.
+func (m *RangeMap[V]) AddPrefix(p Prefix, v V) { m.Add(RangeOf(p), v) }
+
+// Build sorts the intervals and verifies they do not overlap. It returns
+// an error naming the first overlapping pair if they do.
+func (m *RangeMap[V]) Build() error {
+	if m.built {
+		return nil
+	}
+	idx := make([]int, len(m.ranges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.ranges[idx[a]].Lo < m.ranges[idx[b]].Lo })
+
+	ranges := make([]Range, len(idx))
+	values := make([]V, len(idx))
+	for i, j := range idx {
+		ranges[i] = m.ranges[j]
+		values[i] = m.values[j]
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo <= ranges[i-1].Hi {
+			return fmt.Errorf("ipx: overlapping ranges %v and %v", ranges[i-1], ranges[i])
+		}
+	}
+	m.ranges, m.values = ranges, values
+	m.built = true
+	return nil
+}
+
+// MustBuild is Build that panics on overlap, for statically-known inputs.
+func (m *RangeMap[V]) MustBuild() {
+	if err := m.Build(); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of intervals.
+func (m *RangeMap[V]) Len() int { return len(m.ranges) }
+
+// Lookup returns the value covering a. It panics if called before Build.
+func (m *RangeMap[V]) Lookup(a Addr) (V, bool) {
+	if !m.built {
+		panic("ipx: Lookup before Build")
+	}
+	// Binary search for the last range with Lo <= a.
+	i := sort.Search(len(m.ranges), func(i int) bool { return m.ranges[i].Lo > a })
+	var zero V
+	if i == 0 {
+		return zero, false
+	}
+	if r := m.ranges[i-1]; r.Contains(a) {
+		return m.values[i-1], true
+	}
+	return zero, false
+}
+
+// Walk calls fn for every interval in ascending order, stopping early if fn
+// returns false.
+func (m *RangeMap[V]) Walk(fn func(Range, V) bool) {
+	for i := range m.ranges {
+		if !fn(m.ranges[i], m.values[i]) {
+			return
+		}
+	}
+}
+
+// Allocator hands out aligned, non-overlapping sub-prefixes of a parent
+// pool in address order. It models how an RIR delegates blocks to
+// organizations, and how an organization carves its delegation into
+// per-PoP assignments.
+type Allocator struct {
+	pool Prefix
+	next Addr
+	done bool // next wrapped past the pool end
+}
+
+// NewAllocator returns an allocator over pool.
+func NewAllocator(pool Prefix) *Allocator {
+	return &Allocator{pool: pool, next: pool.First()}
+}
+
+// Alloc returns the next free prefix of the requested length. ok is false
+// when the pool is exhausted. Requests shorter than the pool fail
+// immediately.
+func (a *Allocator) Alloc(bits uint8) (p Prefix, ok bool) {
+	if bits < a.pool.Bits || bits > 32 || a.done {
+		return Prefix{}, false
+	}
+	size := Addr(1) << (32 - bits)
+	// Align upward.
+	base := (a.next + size - 1) &^ (size - 1)
+	if base < a.next || base > a.pool.Last() || base+size-1 > a.pool.Last() {
+		return Prefix{}, false
+	}
+	a.next = base + size
+	if a.next == 0 { // wrapped at 255.255.255.255
+		a.done = true
+	}
+	return Prefix{Base: base, Bits: bits}, true
+}
+
+// Remaining returns the number of unallocated addresses left in the pool
+// (ignoring alignment waste future allocations may incur).
+func (a *Allocator) Remaining() uint64 {
+	if a.done || a.next > a.pool.Last() {
+		return 0
+	}
+	return uint64(a.pool.Last()) - uint64(a.next) + 1
+}

@@ -1,0 +1,244 @@
+package netsim
+
+import "routergeo/internal/geo"
+
+// SeedAS pins a specific, named operator into the world. The defaults
+// reproduce the paper's seven DNS-ground-truth domains (§2.3.1) at the
+// reproduction's scale, with headquarters and footprints modelled on the
+// real operators.
+type SeedAS struct {
+	ASN          uint32
+	Name         string
+	Domain       string
+	HQCountry    string // ISO2
+	HQCity       string
+	RIR          geo.RIR
+	Transit      bool
+	PoPs         int     // total PoP count
+	ForeignShare float64 // fraction of PoPs outside the home country
+	// ForeignRIRBias weights which registry region foreign PoPs land in;
+	// nil means "spread per DefaultForeignBias".
+	ForeignRIRBias map[geo.RIR]float64
+	HintScheme     string
+	HintCoverage   float64
+	// PoPRouters overrides the per-PoP router cap for this operator
+	// (0 = the config default). The seven ground-truth operators are
+	// large networks with many routers per site; scaling them up keeps
+	// the DNS-based ground truth dominant over the RTT-based one, as in
+	// the paper (11,857 vs 4,838).
+	PoPRouters int
+}
+
+// Config parameterizes world generation. Zero fields are filled from
+// DefaultConfig by Build.
+type Config struct {
+	Seed int64
+
+	// ASes is the total number of autonomous systems including seeds.
+	ASes int
+	// TransitFraction of the synthetic (non-seed) ASes are transit
+	// networks with multi-city footprints.
+	TransitFraction float64
+	// MultinationalFraction of synthetic transit ASes operate PoPs outside
+	// their home country. Keyed by the org's RIR so regions can differ: the
+	// paper's Figure 3 shows LACNIC ground truth with zero country-level
+	// error, consistent with single-country operators there.
+	MultinationalFraction map[geo.RIR]float64
+	// ForeignShare is the fraction of a multinational's PoPs abroad.
+	ForeignShare float64
+	// RIRWeights controls where synthetic orgs are registered. Defaults
+	// roughly track routed-address share (ARIN-heavy).
+	RIRWeights map[geo.RIR]float64
+
+	// Topology knobs.
+	TransitPoPsMin, TransitPoPsMax int
+	StubPoPsMax                    int
+	RoutersPerTransitPoPMax        int
+	RoutersPerStubPoPMax           int
+	// ExtraIntraASLinkProb adds chords beyond the PoP ring.
+	ExtraIntraASLinkProb float64
+	// PeeringRadiusKm links two transit ASes when both have PoPs within
+	// this distance of each other.
+	PeeringRadiusKm float64
+	PeeringProb     float64
+
+	// SharedBlockProb is the probability that an interface is numbered out
+	// of the AS's shared (cross-PoP) /24 pool instead of its PoP-local
+	// block, producing the non-co-located blocks of §5.2.3.
+	SharedBlockProb float64
+
+	// CityJitterKm bounds how far a router sits from its city's centre.
+	CityJitterKm float64
+
+	// LinkStretch inflates link propagation delay over the great-circle
+	// minimum (fibre does not follow geodesics).
+	LinkStretch float64
+
+	// Seeds pins named operators; nil means DefaultSeedASes.
+	Seeds []SeedAS
+	// GenericHintCoverage is the default fraction of hint-bearing
+	// hostnames for synthetic operators' domains.
+	GenericHintCoverage float64
+}
+
+// DefaultConfig returns the scale the experiments run at: a world of a few
+// thousand routers and some tens of thousands of interfaces that builds in
+// well under a second.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		ASes:            900,
+		TransitFraction: 0.13,
+		MultinationalFraction: map[geo.RIR]float64{
+			geo.ARIN:    0.30,
+			geo.RIPENCC: 0.30,
+			geo.APNIC:   0.16,
+			geo.LACNIC:  0.0,
+			geo.AFRINIC: 0.10,
+		},
+		ForeignShare: 0.30,
+		RIRWeights: map[geo.RIR]float64{
+			geo.ARIN:    0.36,
+			geo.RIPENCC: 0.33,
+			geo.APNIC:   0.19,
+			geo.LACNIC:  0.07,
+			geo.AFRINIC: 0.05,
+		},
+		TransitPoPsMin:          4,
+		TransitPoPsMax:          14,
+		StubPoPsMax:             2,
+		RoutersPerTransitPoPMax: 5,
+		RoutersPerStubPoPMax:    6,
+		ExtraIntraASLinkProb:    0.45,
+		PeeringRadiusKm:         60,
+		PeeringProb:             0.35,
+		SharedBlockProb:         0.17,
+		CityJitterKm:            12,
+		LinkStretch:             1.5,
+		Seeds:                   DefaultSeedASes(),
+		GenericHintCoverage:     0.35,
+	}
+}
+
+// DefaultSeedASes models the paper's seven ground-truth domains. PoP
+// counts are scaled so the relative sizes of the per-domain address
+// counts in §2.3.1 (cogent 6,462 … belwue 23) are preserved.
+func DefaultSeedASes() []SeedAS {
+	euBias := map[geo.RIR]float64{geo.RIPENCC: 0.8, geo.APNIC: 0.15, geo.LACNIC: 0.05}
+	return []SeedAS{
+		{
+			ASN: 174, Name: "Cogent Communications", Domain: "cogentco.com",
+			HQCountry: "US", HQCity: "Washington", RIR: geo.ARIN, Transit: true,
+			PoPs: 48, ForeignShare: 0.34, ForeignRIRBias: euBias,
+			HintScheme: "cogent", HintCoverage: 0.92, PoPRouters: 12,
+		},
+		{
+			ASN: 2914, Name: "NTT Global IP Network", Domain: "ntt.net",
+			HQCountry: "US", HQCity: "Dallas", RIR: geo.ARIN, Transit: true,
+			PoPs: 26, ForeignShare: 0.38,
+			ForeignRIRBias: map[geo.RIR]float64{geo.RIPENCC: 0.45, geo.APNIC: 0.45, geo.LACNIC: 0.1},
+			HintScheme:     "ntt", HintCoverage: 0.92, PoPRouters: 10,
+		},
+		{
+			// NTT's Asian backbone: same ntt.net rDNS zone, APNIC-registered
+			// org — this is why the paper's DNS-based ground truth has an
+			// APNIC column (560 addresses) although all seven domains belong
+			// to US/EU-headquartered operators.
+			ASN: 2915, Name: "NTT Asia", Domain: "ntt.net",
+			HQCountry: "JP", HQCity: "Tokyo", RIR: geo.APNIC, Transit: true,
+			PoPs: 10, ForeignShare: 0.30,
+			ForeignRIRBias: map[geo.RIR]float64{geo.APNIC: 0.7, geo.RIPENCC: 0.15, geo.ARIN: 0.15},
+			HintScheme:     "ntt", HintCoverage: 0.92, PoPRouters: 8,
+		},
+		{
+			ASN: 6762, Name: "Telecom Italia Sparkle", Domain: "seabone.net",
+			HQCountry: "IT", HQCity: "Rome", RIR: geo.RIPENCC, Transit: true,
+			PoPs: 18, ForeignShare: 0.50,
+			ForeignRIRBias: map[geo.RIR]float64{geo.RIPENCC: 0.55, geo.ARIN: 0.2, geo.LACNIC: 0.15, geo.APNIC: 0.1},
+			HintScheme:     "seabone", HintCoverage: 0.90, PoPRouters: 9,
+		},
+		{
+			ASN: 14744, Name: "Internap", Domain: "pnap.net",
+			HQCountry: "US", HQCity: "Atlanta", RIR: geo.ARIN, Transit: true,
+			PoPs: 16, ForeignShare: 0.12,
+			ForeignRIRBias: map[geo.RIR]float64{geo.RIPENCC: 0.5, geo.APNIC: 0.5},
+			HintScheme:     "pnap", HintCoverage: 0.90, PoPRouters: 10,
+		},
+		{
+			ASN: 23317, Name: "Peak 10", Domain: "peak10.net",
+			HQCountry: "US", HQCity: "Charlotte", RIR: geo.ARIN, Transit: false,
+			PoPs: 5, ForeignShare: 0,
+			HintScheme: "peak10", HintCoverage: 0.85, PoPRouters: 5,
+		},
+		{
+			ASN: 7306, Name: "Digital West", Domain: "digitalwest.net",
+			HQCountry: "US", HQCity: "San Luis Obispo", RIR: geo.ARIN, Transit: false,
+			PoPs: 2, ForeignShare: 0,
+			HintScheme: "digitalwest", HintCoverage: 0.85, PoPRouters: 3,
+		},
+		{
+			ASN: 553, Name: "BelWue", Domain: "belwue.de",
+			HQCountry: "DE", HQCity: "Stuttgart", RIR: geo.RIPENCC, Transit: false,
+			PoPs: 3, ForeignShare: 0,
+			HintScheme: "belwue", HintCoverage: 0.85, PoPRouters: 3,
+		},
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.ASes == 0 {
+		c.ASes = d.ASes
+	}
+	if c.TransitFraction == 0 {
+		c.TransitFraction = d.TransitFraction
+	}
+	if c.MultinationalFraction == nil {
+		c.MultinationalFraction = d.MultinationalFraction
+	}
+	if c.ForeignShare == 0 {
+		c.ForeignShare = d.ForeignShare
+	}
+	if c.RIRWeights == nil {
+		c.RIRWeights = d.RIRWeights
+	}
+	if c.TransitPoPsMin == 0 {
+		c.TransitPoPsMin = d.TransitPoPsMin
+	}
+	if c.TransitPoPsMax == 0 {
+		c.TransitPoPsMax = d.TransitPoPsMax
+	}
+	if c.StubPoPsMax == 0 {
+		c.StubPoPsMax = d.StubPoPsMax
+	}
+	if c.RoutersPerTransitPoPMax == 0 {
+		c.RoutersPerTransitPoPMax = d.RoutersPerTransitPoPMax
+	}
+	if c.RoutersPerStubPoPMax == 0 {
+		c.RoutersPerStubPoPMax = d.RoutersPerStubPoPMax
+	}
+	if c.ExtraIntraASLinkProb == 0 {
+		c.ExtraIntraASLinkProb = d.ExtraIntraASLinkProb
+	}
+	if c.PeeringRadiusKm == 0 {
+		c.PeeringRadiusKm = d.PeeringRadiusKm
+	}
+	if c.PeeringProb == 0 {
+		c.PeeringProb = d.PeeringProb
+	}
+	if c.SharedBlockProb == 0 {
+		c.SharedBlockProb = d.SharedBlockProb
+	}
+	if c.CityJitterKm == 0 {
+		c.CityJitterKm = d.CityJitterKm
+	}
+	if c.LinkStretch == 0 {
+		c.LinkStretch = d.LinkStretch
+	}
+	if c.Seeds == nil {
+		c.Seeds = d.Seeds
+	}
+	if c.GenericHintCoverage == 0 {
+		c.GenericHintCoverage = d.GenericHintCoverage
+	}
+}

@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"routergeo/internal/gazetteer"
+	"routergeo/internal/geo"
+)
+
+// EvolutionParams sets the per-month hazard rates of the churn processes
+// the paper measures in §3.1: interface moves (address reassigned to a
+// host elsewhere), hostname renames without a move, and rDNS record loss.
+type EvolutionParams struct {
+	MoveRatePerMonth   float64
+	RenameRatePerMonth float64
+	LossRatePerMonth   float64
+	// UndecodableFrac of renames produce a hostname with no hint matching
+	// any DRoP rule (the paper's 1.5% of changed names).
+	UndecodableFrac float64
+	// StaleHintFrac of moves keep the old hostname, leaving a misleading
+	// location hint (§3.1 discusses these as a residual error source).
+	StaleHintFrac float64
+}
+
+// DefaultEvolutionParams calibrates the hazards to the paper's 16-month
+// observations: 6.9% of addresses lost rDNS, 24% changed hostname, and
+// 7.4% of all addresses changed location.
+func DefaultEvolutionParams() EvolutionParams {
+	hazard := func(p16 float64) float64 { return -math.Log(1-p16) / 16 }
+	return EvolutionParams{
+		MoveRatePerMonth:   hazard(0.079), // moves incl. stale-hint ones
+		RenameRatePerMonth: hazard(0.166), // renames that are not moves
+		LossRatePerMonth:   hazard(0.069),
+		UndecodableFrac:    0.02,
+		StaleHintFrac:      0.06,
+	}
+}
+
+// Evolution is a sampled churn timeline over a world's interfaces. Query
+// it at any horizon (months) to get a consistent view: the paper needs the
+// same world at +0 (Ark extraction), +10 months (the Giotsas 1ms-RTT
+// dataset) and +16 months (the hostname-churn re-check).
+type Evolution struct {
+	w        *World
+	moveAt   []float64
+	renameAt []float64
+	loseAt   []float64
+	undec    []bool
+	stale    []bool
+	newCity  []gazetteer.City
+	newCoord []geo.Coordinate
+}
+
+// Evolve samples a churn timeline. Deterministic for a given rng state.
+func (w *World) Evolve(rng *rand.Rand, p EvolutionParams) *Evolution {
+	n := len(w.Interfaces)
+	e := &Evolution{
+		w:        w,
+		moveAt:   make([]float64, n),
+		renameAt: make([]float64, n),
+		loseAt:   make([]float64, n),
+		undec:    make([]bool, n),
+		stale:    make([]bool, n),
+		newCity:  make([]gazetteer.City, n),
+		newCoord: make([]geo.Coordinate, n),
+	}
+	draw := func(rate float64) float64 {
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		return rng.ExpFloat64() / rate
+	}
+	for i := range w.Interfaces {
+		e.moveAt[i] = draw(p.MoveRatePerMonth)
+		e.renameAt[i] = draw(p.RenameRatePerMonth)
+		e.loseAt[i] = draw(p.LossRatePerMonth)
+		e.undec[i] = rng.Float64() < p.UndecodableFrac
+		e.stale[i] = rng.Float64() < p.StaleHintFrac
+
+		// Destination if this interface ever moves: another PoP of the same
+		// AS when one exists (the paper's NTT example moved Dallas → Miami
+		// within ntt.net), otherwise another city in the same country.
+		as := w.ASOfIface(IfaceID(i))
+		cur := w.CityOf(IfaceID(i))
+		var candidates []gazetteer.City
+		for _, p := range as.PoPs {
+			if p.City.Country != cur.Country || p.City.Name != cur.Name {
+				candidates = append(candidates, p.City)
+			}
+		}
+		var dest gazetteer.City
+		if len(candidates) > 0 {
+			dest = candidates[rng.Intn(len(candidates))]
+		} else {
+			// Single-PoP operator: relocate within the country, or anywhere
+			// if the country has only this one city embedded.
+			for tries := 0; ; tries++ {
+				cc := cur.Country
+				if tries >= 8 {
+					cc = ""
+				}
+				dest = w.Gaz.SampleCity(rng, cc)
+				if dest.Country != cur.Country || dest.Name != cur.Name {
+					break
+				}
+			}
+		}
+		e.newCity[i] = dest
+		e.newCoord[i] = dest.Coord.Offset(rng.Float64()*w.Cfg.CityJitterKm, rng.Float64()*360)
+	}
+	return e
+}
+
+// Moved reports whether the interface's address was reassigned to a host
+// at a different location by the given horizon.
+func (e *Evolution) Moved(i IfaceID, months float64) bool {
+	return e.moveAt[i] <= months
+}
+
+// CityAt returns the interface's true city at the horizon.
+func (e *Evolution) CityAt(i IfaceID, months float64) gazetteer.City {
+	if e.Moved(i, months) {
+		return e.newCity[i]
+	}
+	return e.w.CityOf(i)
+}
+
+// CoordAt returns the interface's true coordinates at the horizon.
+func (e *Evolution) CoordAt(i IfaceID, months float64) geo.Coordinate {
+	if e.Moved(i, months) {
+		return e.newCoord[i]
+	}
+	return e.w.CoordOf(i)
+}
+
+// RDNSLost reports whether the interface no longer has a PTR record at the
+// horizon.
+func (e *Evolution) RDNSLost(i IfaceID, months float64) bool {
+	return e.loseAt[i] <= months
+}
+
+// Renamed reports whether the hostname at the horizon differs from the
+// original: either an in-place rename fired, or the interface moved and
+// its hostname was updated to the new site.
+func (e *Evolution) Renamed(i IfaceID, months float64) bool {
+	if e.renameAt[i] <= months {
+		return true
+	}
+	return e.Moved(i, months) && !e.stale[i]
+}
+
+// HintUndecodable reports whether a renamed hostname carries no decodable
+// location hint at the horizon.
+func (e *Evolution) HintUndecodable(i IfaceID, months float64) bool {
+	return e.Renamed(i, months) && e.undec[i]
+}
+
+// HintStale reports whether the interface moved but kept its old hostname,
+// so any hint in it points at the previous location.
+func (e *Evolution) HintStale(i IfaceID, months float64) bool {
+	return e.Moved(i, months) && e.stale[i]
+}

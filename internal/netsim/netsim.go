@@ -1,0 +1,331 @@
+// Package netsim builds and holds the synthetic Internet the whole
+// reproduction measures: autonomous systems with points of presence in
+// real-world cities, routers with link-attached interfaces, IPv4
+// allocations delegated through internal/registry, and a connected link
+// graph with geographically derived delays.
+//
+// The world substitutes for the live Internet that CAIDA Ark and RIPE
+// Atlas measured in the paper. Its essential property is that *truth is
+// known exactly*: every interface has a definite location, so the
+// evaluation in internal/core can score databases without the paper's
+// ground-truth uncertainty. The generator deliberately plants the
+// phenomena the paper attributes its findings to:
+//
+//   - multinational organizations register all address space at their
+//     headquarters while operating PoPs abroad (the registry-bias error
+//     source behind §5.2.2 and §5.2.3);
+//   - a fraction of /24 blocks are assigned across PoPs, so block-level
+//     location records cannot be right for every interface (§5.2.3);
+//   - seven operator domains with DNS-decodable location hints, matching
+//     the paper's DNS-based ground-truth domains (§2.3.1).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routergeo/internal/gazetteer"
+	"routergeo/internal/geo"
+	"routergeo/internal/ipx"
+	"routergeo/internal/registry"
+)
+
+// RouterID indexes a router within a World.
+type RouterID int32
+
+// IfaceID indexes an interface within a World.
+type IfaceID int32
+
+// PoP is one point of presence: a city where an AS operates routers.
+type PoP struct {
+	City    gazetteer.City
+	Routers []RouterID
+}
+
+// AS is one autonomous system in the world.
+type AS struct {
+	ASN           registry.ASN
+	Org           registry.OrgID
+	Name          string
+	Domain        string // rDNS suffix for this operator's router names
+	RIR           geo.RIR
+	HomeCountry   string // ISO2 of the headquarters
+	HomeCity      string
+	Transit       bool
+	Multinational bool
+	// HintScheme names the hostname grammar internal/rdns uses for this
+	// operator; HintCoverage is the fraction of its interfaces whose
+	// hostnames embed a decodable location hint.
+	HintScheme   string
+	HintCoverage float64
+	// RoutersPerPoPMax overrides the config cap for this AS (0 = default).
+	RoutersPerPoPMax int
+	PoPs             []PoP
+	Prefixes         []ipx.Prefix // registry delegations
+}
+
+// Router is one router, pinned to a PoP with a jittered position inside
+// the PoP's city.
+type Router struct {
+	ID     RouterID
+	AS     int // index into World.ASes
+	PoP    int // index into AS.PoPs
+	Coord  geo.Coordinate
+	Ifaces []IfaceID
+}
+
+// Interface is one numbered router interface. Interfaces are created in
+// pairs when links are installed, so the interface-per-router ratio lands
+// near the ~3.4 the paper's ITDK alias data implies.
+type Interface struct {
+	ID     IfaceID
+	Addr   ipx.Addr
+	Router RouterID
+	Link   int32 // index into World.Links
+}
+
+// Link is an undirected adjacency between two routers with a fixed one-way
+// propagation delay.
+type Link struct {
+	A, B           RouterID
+	AIface, BIface IfaceID
+	OneWayMs       float64
+}
+
+// Hop is one adjacency as seen from a specific router, used by the
+// traceroute engine: crossing to Peer reveals PeerIface (the ingress
+// interface) and costs OneWayMs of propagation each way.
+type Hop struct {
+	Peer      RouterID
+	PeerIface IfaceID
+	OneWayMs  float64
+}
+
+// World is the fully built synthetic Internet. It is immutable after
+// Build and safe for concurrent readers.
+type World struct {
+	Cfg Config
+	Gaz *gazetteer.Gazetteer
+	Reg *registry.Registry
+
+	ASes       []AS
+	Routers    []Router
+	Interfaces []Interface
+	Links      []Link
+
+	adj         [][]Hop
+	ifaceByAddr map[ipx.Addr]IfaceID
+	blockOwner  map[ipx.Addr]RouterID       // /24 base -> first router numbered from it
+	blockCities map[ipx.Addr]map[string]int // /24 base -> interface count per "cc/city" key
+}
+
+// NumASes etc. give the world's scale.
+func (w *World) NumASes() int       { return len(w.ASes) }
+func (w *World) NumRouters() int    { return len(w.Routers) }
+func (w *World) NumInterfaces() int { return len(w.Interfaces) }
+func (w *World) NumLinks() int      { return len(w.Links) }
+
+// ASOfRouter returns the AS operating a router.
+func (w *World) ASOfRouter(r RouterID) *AS { return &w.ASes[w.Routers[r].AS] }
+
+// ASOfIface returns the AS operating an interface.
+func (w *World) ASOfIface(i IfaceID) *AS { return w.ASOfRouter(w.Interfaces[i].Router) }
+
+// RouterOf returns the router an interface belongs to.
+func (w *World) RouterOf(i IfaceID) *Router { return &w.Routers[w.Interfaces[i].Router] }
+
+// CityOf returns the city a router interface is located in — the exact
+// truth the evaluation scores databases against.
+func (w *World) CityOf(i IfaceID) gazetteer.City {
+	r := w.RouterOf(i)
+	return w.ASes[r.AS].PoPs[r.PoP].City
+}
+
+// CoordOf returns the interface's precise coordinates (its router's
+// jittered position).
+func (w *World) CoordOf(i IfaceID) geo.Coordinate { return w.RouterOf(i).Coord }
+
+// CountryOf returns the ISO2 country code of an interface's location.
+func (w *World) CountryOf(i IfaceID) string { return w.CityOf(i).Country }
+
+// IfaceByAddr resolves an address to its interface.
+func (w *World) IfaceByAddr(a ipx.Addr) (IfaceID, bool) {
+	id, ok := w.ifaceByAddr[a]
+	return id, ok
+}
+
+// Neighbors returns a router's adjacencies. The returned slice is shared;
+// callers must not modify it.
+func (w *World) Neighbors(r RouterID) []Hop { return w.adj[r] }
+
+// DestRouterFor returns the router a probe toward addr will terminate at:
+// the owner of the address's /24 (Ark probes random addresses inside
+// routed /24s; the reply comes from the block's router). ok is false for
+// unrouted space.
+func (w *World) DestRouterFor(a ipx.Addr) (RouterID, bool) {
+	if id, ok := w.ifaceByAddr[a]; ok {
+		return w.Interfaces[id].Router, true
+	}
+	r, ok := w.blockOwner[a.Slash24().Base]
+	return r, ok
+}
+
+// RoutedSlash24s returns the base address of every /24 with at least one
+// numbered interface, in unspecified order. Ark target selection samples
+// from these.
+func (w *World) RoutedSlash24s() []ipx.Prefix {
+	out := make([]ipx.Prefix, 0, len(w.blockOwner))
+	for base := range w.blockOwner {
+		out = append(out, ipx.Prefix{Base: base, Bits: 24})
+	}
+	return out
+}
+
+// BlockCityCount returns how many distinct cities the interfaces of addr's
+// /24 block sit in. A count above 1 means block-level location records are
+// necessarily wrong for part of the block — the §5.2.3 mechanism.
+func (w *World) BlockCityCount(a ipx.Addr) int {
+	return len(w.blockCities[a.Slash24().Base])
+}
+
+// BlockCities returns the distinct cities hosting interfaces of addr's
+// /24 block, for the block co-locality analysis the paper defers to
+// future work ("We do not investigate blocks co-locality in this work",
+// §5.2.3).
+func (w *World) BlockCities(a ipx.Addr) []gazetteer.City {
+	counts := w.blockCities[a.Slash24().Base]
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]gazetteer.City, 0, len(keys))
+	for _, k := range keys {
+		cc, name, _ := strings.Cut(k, "/")
+		if c, ok := w.Gaz.City(cc, name); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BlockMajorityCity returns the city hosting the most interfaces of addr's
+// /24 block. Vendor measurement pipelines resolve a probed block to its
+// dominant site, so this is what a good block-level correction learns.
+// ok is false for blocks with no interfaces.
+func (w *World) BlockMajorityCity(a ipx.Addr) (gazetteer.City, bool) {
+	counts := w.blockCities[a.Slash24().Base]
+	bestKey, bestN := "", 0
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < bestKey) {
+			bestKey, bestN = k, n
+		}
+	}
+	if bestKey == "" {
+		return gazetteer.City{}, false
+	}
+	cc, name, _ := strings.Cut(bestKey, "/")
+	return w.Gaz.City(cc, name)
+}
+
+// PeerIface returns the interface on the opposite end of i's link. Every
+// interface in the world is link-attached, so this always resolves.
+func (w *World) PeerIface(i IfaceID) IfaceID {
+	l := w.Links[w.Interfaces[i].Link]
+	if l.AIface == i {
+		return l.BIface
+	}
+	return l.AIface
+}
+
+// NearestRouterFunc returns the router closest to p among those accepted
+// by the predicate. ok is false when no router is accepted.
+func (w *World) NearestRouterFunc(p geo.Coordinate, accept func(RouterID) bool) (RouterID, bool) {
+	best, bestD := RouterID(-1), 0.0
+	for i := range w.Routers {
+		r := &w.Routers[i]
+		if !accept(r.ID) {
+			continue
+		}
+		d := r.Coord.DistanceKm(p)
+		if best < 0 || d < bestD {
+			best, bestD = r.ID, d
+		}
+	}
+	return best, best >= 0
+}
+
+// NearestRouter returns the router closest to p, optionally restricted to
+// a country (iso2 != ""). Used to attach measurement probes to the
+// topology. Falls back to the global nearest if the country has no
+// routers. ok is false only for an empty world.
+func (w *World) NearestRouter(p geo.Coordinate, iso2 string) (RouterID, bool) {
+	best, bestD := RouterID(-1), 0.0
+	bestAny, bestAnyD := RouterID(-1), 0.0
+	for i := range w.Routers {
+		r := &w.Routers[i]
+		d := r.Coord.DistanceKm(p)
+		if bestAny < 0 || d < bestAnyD {
+			bestAny, bestAnyD = r.ID, d
+		}
+		if iso2 != "" && w.ASes[r.AS].PoPs[r.PoP].City.Country != iso2 {
+			continue
+		}
+		if best < 0 || d < bestD {
+			best, bestD = r.ID, d
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	return bestAny, bestAny >= 0
+}
+
+// Validate performs internal consistency checks and returns the first
+// violation found. The test suite runs it on every generated world.
+func (w *World) Validate() error {
+	for i := range w.Interfaces {
+		ifc := &w.Interfaces[i]
+		if ifc.ID != IfaceID(i) {
+			return fmt.Errorf("interface %d has ID %d", i, ifc.ID)
+		}
+		if int(ifc.Router) >= len(w.Routers) {
+			return fmt.Errorf("interface %d references router %d", i, ifc.Router)
+		}
+		if got, ok := w.ifaceByAddr[ifc.Addr]; !ok || got != ifc.ID {
+			return fmt.Errorf("address index broken for %v", ifc.Addr)
+		}
+	}
+	for i := range w.Links {
+		l := &w.Links[i]
+		if w.Interfaces[l.AIface].Router != l.A || w.Interfaces[l.BIface].Router != l.B {
+			return fmt.Errorf("link %d interface/router mismatch", i)
+		}
+		if l.OneWayMs < 0 {
+			return fmt.Errorf("link %d has negative delay", i)
+		}
+	}
+	// The graph must be connected or traceroutes cannot reach all /24s.
+	if n := len(w.Routers); n > 0 {
+		seen := make([]bool, n)
+		queue := []RouterID{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, h := range w.adj[r] {
+				if !seen[h.Peer] {
+					seen[h.Peer] = true
+					count++
+					queue = append(queue, h.Peer)
+				}
+			}
+		}
+		if count != n {
+			return fmt.Errorf("graph disconnected: reached %d of %d routers", count, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Package traceroute runs simulated traceroutes over a netsim.World.
+//
+// Both measurement systems the paper consumes are built on it: CAIDA
+// Ark's topology sweeps (internal/ark) and RIPE Atlas's built-in
+// measurements (internal/atlas). A measurement source is attached to a
+// router; paths follow the world's link graph along minimum-delay routes
+// (one shortest-path tree per source, so tracing to every destination
+// from one vantage point costs a single Dijkstra run); each hop reveals
+// the *ingress* interface of the router it crosses, which is what real
+// traceroute shows and what makes the collected interface sets
+// ingress-biased exactly like Ark's.
+package traceroute
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"routergeo/internal/netsim"
+	"routergeo/internal/rtt"
+)
+
+// Hop is one line of a traceroute result.
+type Hop struct {
+	Router netsim.RouterID
+	// Iface is the ingress interface whose address appears in the result.
+	// It is -1 for the source router itself (a traceroute never reveals
+	// its own first router's upstream side).
+	Iface netsim.IfaceID
+	// RTTMs is the sampled round-trip time from the source to this hop.
+	RTTMs float64
+}
+
+// Tree is a single-source shortest-delay tree over the world's routers.
+type Tree struct {
+	Src netsim.RouterID
+
+	parent      []netsim.RouterID
+	parentIface []netsim.IfaceID // ingress iface at node, on the link from parent
+	distMs      []float64        // one-way propagation from Src
+	hops        []int32
+}
+
+// Engine runs traceroutes with a given delay model.
+type Engine struct {
+	World *netsim.World
+	Model rtt.Model
+}
+
+// New returns an engine with the default delay model.
+func New(w *netsim.World) *Engine {
+	return &Engine{World: w, Model: rtt.DefaultModel()}
+}
+
+// BuildTree computes the shortest-delay tree from src. Cost is one
+// Dijkstra run (O(E log V)); reuse the tree for every destination.
+func (e *Engine) BuildTree(src netsim.RouterID) *Tree {
+	n := e.World.NumRouters()
+	t := &Tree{
+		Src:         src,
+		parent:      make([]netsim.RouterID, n),
+		parentIface: make([]netsim.IfaceID, n),
+		distMs:      make([]float64, n),
+		hops:        make([]int32, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = -1
+		t.parentIface[i] = -1
+		t.distMs[i] = math.Inf(1)
+	}
+	t.distMs[src] = 0
+
+	pq := &nodeQueue{{router: src, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(node)
+		if cur.dist > t.distMs[cur.router] {
+			continue // stale entry
+		}
+		for _, h := range e.World.Neighbors(cur.router) {
+			nd := cur.dist + h.OneWayMs
+			if nd < t.distMs[h.Peer] {
+				t.distMs[h.Peer] = nd
+				t.parent[h.Peer] = cur.router
+				t.parentIface[h.Peer] = h.PeerIface
+				t.hops[h.Peer] = t.hops[cur.router] + 1
+				heap.Push(pq, node{router: h.Peer, dist: nd})
+			}
+		}
+	}
+	return t
+}
+
+// Parent returns the previous router on the tree path from the source to
+// r, or -1 for the source itself. Because the world's links are symmetric,
+// a tree rooted at a *destination* doubles as a reverse-path table: walking
+// Parent pointers from any router yields that router's forward path to the
+// root. internal/atlas exploits this to serve thousands of probes with one
+// Dijkstra run per target.
+func (t *Tree) Parent(r netsim.RouterID) netsim.RouterID { return t.parent[r] }
+
+// ParentIface returns the interface *at r* on the link between r and its
+// parent, or -1 at the root.
+func (t *Tree) ParentIface(r netsim.RouterID) netsim.IfaceID { return t.parentIface[r] }
+
+// Reachable reports whether dst is reachable from the tree's source.
+func (t *Tree) Reachable(dst netsim.RouterID) bool {
+	return !math.IsInf(t.distMs[dst], 1)
+}
+
+// DistMs returns the one-way propagation delay to dst.
+func (t *Tree) DistMs(dst netsim.RouterID) float64 { return t.distMs[dst] }
+
+// HopCount returns the number of links on the path to dst.
+func (t *Tree) HopCount(dst netsim.RouterID) int { return int(t.hops[dst]) }
+
+// Path returns the router sequence from the source to dst, inclusive.
+// It returns nil when dst is unreachable.
+func (t *Tree) Path(dst netsim.RouterID) []netsim.RouterID {
+	if !t.Reachable(dst) {
+		return nil
+	}
+	out := make([]netsim.RouterID, 0, t.hops[dst]+1)
+	for r := dst; ; r = t.parent[r] {
+		out = append(out, r)
+		if r == t.Src {
+			break
+		}
+	}
+	// Reverse into source-to-destination order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Trace produces the hop list a traceroute from the tree's source to dst
+// would report. baseMs is added to every RTT (the source's access-link
+// delay — zero for Ark monitors colocated with their first router,
+// the probe's last-mile for Atlas). Per-hop RTTs are sampled with
+// independent queueing noise but share the deterministic propagation
+// component, so RTTs increase (almost) monotonically along the path like
+// real traceroutes. Returns nil when dst is unreachable.
+func (e *Engine) Trace(rng *rand.Rand, t *Tree, dst netsim.RouterID, baseMs float64) []Hop {
+	routers := t.Path(dst)
+	if routers == nil {
+		return nil
+	}
+	out := make([]Hop, 0, len(routers))
+	for i, r := range routers {
+		var iface netsim.IfaceID = -1
+		if i > 0 {
+			iface = t.parentIface[r]
+		}
+		prop := 2*t.distMs[r] + float64(i)*e.Model.PerHopMs
+		rtt := baseMs + prop + rng.ExpFloat64()*e.Model.QueueMeanMs
+		out = append(out, Hop{Router: r, Iface: iface, RTTMs: rtt})
+	}
+	return out
+}
+
+// node and nodeQueue implement the Dijkstra priority queue.
+type node struct {
+	router netsim.RouterID
+	dist   float64
+}
+
+type nodeQueue []node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,51 @@
+package vendors
+
+import (
+	"testing"
+
+	"routergeo/internal/hints"
+	"routergeo/internal/netsim"
+	"routergeo/internal/rdns"
+)
+
+// BenchmarkBuildNetAcuity measures the most expensive vendor pipeline
+// (registry walk + SWIP + corrections + per-interface hint decoding).
+func BenchmarkBuildNetAcuity(b *testing.B) {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 21
+	cfg.ASes = 250
+	w, err := netsim.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := hints.NewDictionary(w.Gaz)
+	in := Inputs{
+		World:   w,
+		Feed:    BuildFeed(w, DefaultFeedConfig()),
+		Zone:    rdns.Synthesize(w, dict, rdns.DefaultConfig()),
+		Decoder: hints.NewDecoder(dict),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(in, NetAcuity()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildFeed measures registration-feed derivation.
+func BenchmarkBuildFeed(b *testing.B) {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 21
+	cfg.ASes = 250
+	w, err := netsim.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFeed(w, DefaultFeedConfig())
+	}
+}

@@ -1,0 +1,7 @@
+package routergeo
+
+import "math/rand"
+
+// newRand centralizes seeded RNG construction for the facade so every
+// public entry point stays deterministic for a given seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
