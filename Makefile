@@ -1,0 +1,24 @@
+# Pre-PR gate: everything CI would run. `make check` must be green
+# before any change goes up for review.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quantifies the /v2 batching win among everything else.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -13,10 +13,12 @@ package routergeo
 
 import (
 	"io"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"routergeo/internal/experiments"
+	"routergeo/internal/geodb/httpapi"
 )
 
 var (
@@ -117,5 +119,50 @@ func BenchmarkLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// remoteBenchAddrs is the batch size the remote benchmarks resolve per
+// iteration, so ns/op is directly comparable between the single-lookup
+// and batched transports.
+const remoteBenchAddrs = 1000
+
+// BenchmarkRemoteLookupSingle pays the original wire cost: one GET
+// /v1/lookup round trip per address.
+func BenchmarkRemoteLookupSingle(b *testing.B) {
+	env := benchEnvironment(b)
+	srv := httptest.NewServer(httpapi.NewHandler(env.DBs))
+	defer srv.Close()
+	c := httpapi.NewClient(srv.URL, httpapi.WithDatabase("NetAcuity"))
+	addrs := env.ArkAddrs[:remoteBenchAddrs]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			c.Lookup(a)
+		}
+	}
+}
+
+// BenchmarkRemoteLookupBatch resolves the same addresses through POST
+// /v2/lookup with a bounded worker pool — the transport RemoteProvider
+// uses. The per-iteration delta against BenchmarkRemoteLookupSingle is
+// the batching win.
+func BenchmarkRemoteLookupBatch(b *testing.B) {
+	env := benchEnvironment(b)
+	srv := httptest.NewServer(httpapi.NewHandler(env.DBs))
+	defer srv.Close()
+	c := httpapi.NewClient(srv.URL,
+		httpapi.WithDatabase("NetAcuity"),
+		httpapi.WithConcurrency(8),
+		httpapi.WithClientMaxBatch(250))
+	ips := make([]string, remoteBenchAddrs)
+	for i := range ips {
+		ips[i] = env.ArkAddrs[i].String()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BatchLookup(ips); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,26 +1,37 @@
-// Command geolookup queries exported geolocation databases (.rgdb files
-// written by cmd/routergeo -dbdir or Study.ExportDatabases) for one or
-// more IPv4 addresses, printing each database's answer side by side —
-// a miniature of the pairwise-consistency view the paper builds at scale.
+// Command geolookup queries geolocation databases for one or more IPv4
+// addresses, printing each database's answer side by side — a miniature
+// of the pairwise-consistency view the paper builds at scale.
+//
+// Local mode reads exported .rgdb/.csv files (written by cmd/routergeo
+// -dbdir or Study.ExportDatabases); remote mode queries a running
+// geoserve instance through the batch /v2/lookup endpoint.
 //
 // Usage:
 //
-//	geolookup -db dir_or_file [-db ...] ip [ip...]
+//	geolookup -db dir_or_file [-db ...] ip [ip...]       # local files
+//	geolookup -server http://host:8080 [-rdb N] [ip...]  # remote /v2
 //
 // Each -db flag names one .rgdb or .csv database file, or a directory
-// containing several.
+// containing several. In remote mode, addresses missing from the
+// command line are read from stdin (one per line), so a whole Ark-style
+// address file pipes through one batched request stream:
+//
+//	geolookup -server http://host:8080 < addrs.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"routergeo/internal/geodb"
 	"routergeo/internal/geodb/dbcsv"
 	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/httpapi"
 	"routergeo/internal/ipx"
 )
 
@@ -30,12 +41,21 @@ func (d *dbList) String() string     { return strings.Join(*d, ",") }
 func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
-	var dbPaths dbList
+	var (
+		server   = flag.String("server", "", "geoserve base URL; queries /v2/lookup instead of local files")
+		remoteDB = flag.String("rdb", "", "with -server: restrict lookups to one database name")
+		dbPaths  dbList
+	)
 	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
 	flag.Parse()
 
+	if *server != "" {
+		os.Exit(remoteMain(*server, *remoteDB, flag.Args()))
+	}
+
 	if len(dbPaths) == 0 || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: geolookup -db dir_or_file [-db ...] ip [ip...]")
+		fmt.Fprintln(os.Stderr, "       geolookup -server URL [-rdb name] [ip...] (< addrs.txt)")
 		os.Exit(2)
 	}
 
@@ -64,21 +84,92 @@ func main() {
 		fmt.Printf("%s\n", addr)
 		for _, db := range dbs {
 			rec, ok := db.Lookup(addr)
-			switch {
-			case !ok:
-				fmt.Printf("  %-18s no record\n", db.Name())
-			case rec.HasCity():
-				fmt.Printf("  %-18s %s / %s (%.4f,%.4f) [/%d record]\n",
-					db.Name(), rec.Country, rec.City, rec.Coord.Lat, rec.Coord.Lon, rec.BlockBits)
-			case rec.HasCountry():
-				fmt.Printf("  %-18s %s (country only) [/%d record]\n",
-					db.Name(), rec.Country, rec.BlockBits)
-			default:
-				fmt.Printf("  %-18s empty record\n", db.Name())
-			}
+			printAnswer(db.Name(), toRecordJSON(rec, ok))
 		}
 	}
 	os.Exit(exit)
+}
+
+// remoteMain is the -server path: batch the addresses (command line,
+// else stdin) through POST /v2/lookup and print the same side-by-side
+// view the local mode produces.
+func remoteMain(baseURL, db string, args []string) int {
+	ips := args
+	if len(ips) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			ips = append(ips, line)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "geolookup: stdin:", err)
+			return 1
+		}
+	}
+	if len(ips) == 0 {
+		fmt.Fprintln(os.Stderr, "geolookup: no addresses (pass as arguments or on stdin)")
+		return 2
+	}
+
+	c := httpapi.NewClient(baseURL, httpapi.WithDatabase(db))
+	entries, err := c.BatchLookup(ips)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolookup:", err)
+		return 1
+	}
+	exit := 0
+	for _, e := range entries {
+		fmt.Printf("%s\n", e.IP)
+		if e.Error != "" {
+			fmt.Printf("  %-18s %s\n", "error:", e.Error)
+			exit = 1
+			continue
+		}
+		names := make([]string, 0, len(e.Results))
+		for name := range e.Results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			printAnswer(name, e.Results[name])
+		}
+	}
+	return exit
+}
+
+// toRecordJSON puts a local answer into the wire form so local and
+// remote answers print through one code path.
+func toRecordJSON(rec geodb.Record, ok bool) httpapi.RecordJSON {
+	if !ok {
+		return httpapi.RecordJSON{Resolution: "none"}
+	}
+	return httpapi.RecordJSON{
+		Country:    rec.Country,
+		City:       rec.City,
+		Lat:        rec.Coord.Lat,
+		Lon:        rec.Coord.Lon,
+		Resolution: rec.Resolution.String(),
+		BlockBits:  rec.BlockBits,
+		Found:      true,
+	}
+}
+
+func printAnswer(name string, r httpapi.RecordJSON) {
+	switch {
+	case !r.Found:
+		fmt.Printf("  %-18s no record\n", name)
+	case r.Resolution == "city" && r.City != "" && (r.Lat != 0 || r.Lon != 0):
+		fmt.Printf("  %-18s %s / %s (%.4f,%.4f) [/%d record]\n",
+			name, r.Country, r.City, r.Lat, r.Lon, r.BlockBits)
+	case r.Country != "":
+		fmt.Printf("  %-18s %s (country only) [/%d record]\n",
+			name, r.Country, r.BlockBits)
+	default:
+		fmt.Printf("  %-18s empty record\n", name)
+	}
 }
 
 // loadPath loads one .rgdb file, or every *.rgdb file in a directory.

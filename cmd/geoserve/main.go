@@ -8,16 +8,27 @@
 //	geoserve [-addr :8080] [-db dir_or_file]...   # serve exported files
 //	geoserve [-addr :8080] -build [-seed N]       # build a study and serve it
 //
-// Endpoints: GET /v1/databases, GET /v1/lookup?ip=A[&db=N], GET /healthz.
+// Endpoints: GET /v1/databases, GET /v1/lookup?ip=A[&db=N] (stable),
+// POST /v2/lookup (batch), GET /v2/databases, GET /v2/stats, and
+// GET /healthz (which reports "draining" once shutdown starts).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to
+// draining, in-flight requests get -drain to finish, then the listener
+// closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"routergeo/internal/experiments"
@@ -33,10 +44,16 @@ func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		build   = flag.Bool("build", false, "build a study and serve its four databases")
-		seed    = flag.Int64("seed", 1, "world seed (with -build)")
-		dbPaths dbList
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		build       = flag.Bool("build", false, "build a study and serve its four databases")
+		seed        = flag.Int64("seed", 1, "world seed (with -build)")
+		maxBatch    = flag.Int("max-batch", httpapi.DefaultMaxBatch, "max addresses per /v2/lookup request")
+		concurrency = flag.Int("concurrency", 0, "worker-pool width for large batches (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", httpapi.DefaultRequestTimeout, "per-request timeout (0 disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		grace       = flag.Duration("grace", time.Second, "delay between /healthz flipping to draining and the listener closing")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		dbPaths     dbList
 	)
 	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
 	flag.Parse()
@@ -72,15 +89,56 @@ func main() {
 	for _, db := range dbs {
 		fmt.Fprintf(os.Stderr, "serving %s (%d ranges)\n", db.Name(), db.Len())
 	}
+
+	opts := []httpapi.ServerOption{
+		httpapi.WithMaxBatch(*maxBatch),
+		httpapi.WithRequestTimeout(*timeout),
+	}
+	if *concurrency > 0 {
+		opts = append(opts, httpapi.WithServerConcurrency(*concurrency))
+	}
+	if !*quiet {
+		opts = append(opts, httpapi.WithLogger(log.New(os.Stderr, "", log.LstdFlags)))
+	}
+	handler := httpapi.NewHandler(dbs, opts...)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewHandler(dbs),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "listening on http://%s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener failed before any shutdown was requested.
 		fmt.Fprintln(os.Stderr, "geoserve:", err)
 		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "geoserve: %v: draining for up to %v\n", sig, *drain)
+		handler.SetDraining(true)
+		// Keep the listener up briefly so load balancers observe the 503
+		// draining health answer before connections start being refused.
+		time.Sleep(*grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "geoserve: drain incomplete:", err)
+			os.Exit(1)
+		}
+		// ListenAndServe returns ErrServerClosed after Shutdown; anything
+		// else is a real serve failure.
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "geoserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "geoserve: shutdown complete")
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 // CountryAgreement counts pairwise country-level agreement over the
 // addresses both databases answer (§5.1).
 func CountryAgreement(a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
+	prefetch(a, addrs)
+	prefetch(b, addrs)
 	for _, addr := range addrs {
 		ra, okA := a.Lookup(addr)
 		rb, okB := b.Lookup(addr)
@@ -64,6 +66,8 @@ type PairwiseCity struct {
 
 // MeasurePairwiseCity computes the Figure 1 comparison for one pair.
 func MeasurePairwiseCity(a, b geodb.Provider, addrs []ipx.Addr) PairwiseCity {
+	prefetch(a, addrs)
+	prefetch(b, addrs)
 	out := PairwiseCity{CDF: &stats.ECDF{}}
 	for _, addr := range addrs {
 		ra, okA := a.Lookup(addr)

@@ -69,8 +69,39 @@ type Coverage struct {
 func (c Coverage) CountryPct() float64 { return stats.Fraction(c.Country, c.Total) }
 func (c Coverage) CityPct() float64    { return stats.Fraction(c.City, c.Total) }
 
+// Prefetcher is the optional bulk-resolution hook a Provider may
+// implement (httpapi.RemoteProvider does). Evaluation entry points hand
+// the full address list over before the first Lookup, letting a remote
+// provider pipeline batched requests instead of paying one round trip
+// per address. A prefetch failure is non-fatal: per-address Lookup
+// remains the fallback, and transport-aware providers report outages
+// through their own error surface.
+type Prefetcher interface {
+	Prefetch(addrs []ipx.Addr) error
+}
+
+// prefetch offers addrs to db if it supports bulk resolution.
+func prefetch(db geodb.Provider, addrs []ipx.Addr) {
+	if p, ok := db.(Prefetcher); ok {
+		_ = p.Prefetch(addrs)
+	}
+}
+
+// prefetchTargets is prefetch over a target list's addresses.
+func prefetchTargets(db geodb.Provider, targets []Target) {
+	if _, ok := db.(Prefetcher); !ok {
+		return
+	}
+	addrs := make([]ipx.Addr, len(targets))
+	for i, t := range targets {
+		addrs[i] = t.Addr
+	}
+	prefetch(db, addrs)
+}
+
 // MeasureCoverage queries every address once.
 func MeasureCoverage(db geodb.Provider, addrs []ipx.Addr) Coverage {
+	prefetch(db, addrs)
 	c := Coverage{Total: len(addrs)}
 	for _, a := range addrs {
 		rec, ok := db.Lookup(a)
@@ -113,6 +144,7 @@ func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a
 
 // MeasureAccuracy scores db on every target.
 func MeasureAccuracy(db geodb.Provider, targets []Target) Accuracy {
+	prefetchTargets(db, targets)
 	acc := Accuracy{Total: len(targets), ErrorCDF: &stats.ECDF{}}
 	for _, t := range targets {
 		rec, ok := db.Lookup(t.Addr)

@@ -1,0 +1,399 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// Client defaults, applied by NewClient; a zero/struct-literal Client
+// behaves like the original v1 client (no retries, no timeout).
+const (
+	DefaultRetries     = 2
+	DefaultBackoff     = 100 * time.Millisecond
+	DefaultTimeout     = 30 * time.Second
+	DefaultConcurrency = 4
+	// DefaultClientMaxBatch is the client-side chunk size for
+	// BatchLookup; requests never exceed it even when the server would
+	// accept more.
+	DefaultClientMaxBatch = 10_000
+)
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithRetries sets how many times a failed request (transport error or
+// 5xx) is reissued before giving up.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the base retry delay; attempt k sleeps base<<k.
+func WithBackoff(base time.Duration) ClientOption {
+	return func(c *Client) {
+		if base >= 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// WithTimeout bounds each HTTP request; 0 disables the bound.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithConcurrency sets the worker-pool width BatchLookup (and
+// RemoteProvider prefetches) fan chunks out over.
+func WithConcurrency(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.concurrency = n
+		}
+	}
+}
+
+// WithClientMaxBatch sets the per-request chunk size for BatchLookup.
+func WithClientMaxBatch(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithDatabase pins every Provider-style lookup to one database, as the
+// geodb.Provider adapter requires.
+func WithDatabase(name string) ClientOption {
+	return func(c *Client) { c.DB = name }
+}
+
+// WithHTTPClient swaps the underlying *http.Client (custom transports,
+// test round-trippers).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = h }
+}
+
+// Client talks to a server created by NewHandler. The zero value with
+// only BaseURL set is a valid v1 client; NewClient additionally arms
+// retries, backoff, timeouts and batch concurrency.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// DB optionally pins every lookup to one database; required for the
+	// geodb.Provider adapter.
+	DB string
+
+	retries     int
+	backoff     time.Duration
+	timeout     time.Duration
+	concurrency int
+	maxBatch    int
+	// sleep is swapped out by tests to avoid real backoff waits.
+	sleep func(time.Duration)
+
+	transportErrs atomic.Int64
+	mu            sync.Mutex
+	lastErr       error
+}
+
+// NewClient builds a resilient client with the Default* settings, then
+// applies opts.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		BaseURL:     baseURL,
+		retries:     DefaultRetries,
+		backoff:     DefaultBackoff,
+		timeout:     DefaultTimeout,
+		concurrency: DefaultConcurrency,
+		maxBatch:    DefaultClientMaxBatch,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) workers() int {
+	if c.concurrency > 0 {
+		return c.concurrency
+	}
+	return 1
+}
+
+func (c *Client) batchSize() int {
+	if c.maxBatch > 0 {
+		return c.maxBatch
+	}
+	return DefaultClientMaxBatch
+}
+
+// Err returns the last transport-level error the client hit (nil when
+// every request so far succeeded). A remote-evaluation run checks this
+// after scoring: a non-nil value means some misses may be outages, not
+// genuine database gaps, and the coverage numbers are tainted.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// TransportErrors counts transport-level failures (including exhausted
+// retries) over the client's lifetime.
+func (c *Client) TransportErrors() int64 { return c.transportErrs.Load() }
+
+func (c *Client) recordErr(err error) {
+	c.transportErrs.Add(1)
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// retryable reports whether a response status warrants a retry: server
+// errors might heal; client errors will not.
+func retryable(status int) bool { return status >= 500 }
+
+// do issues one request with the client's retry/backoff/timeout policy
+// and decodes the JSON answer into out. body non-nil makes it a POST.
+func (c *Client) do(path string, body []byte, out interface{}) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			if delay > 0 {
+				sleep := c.sleep
+				if sleep == nil {
+					sleep = time.Sleep
+				}
+				sleep(delay)
+			}
+		}
+		status, err := c.once(path, body, out)
+		if err == nil && !retryable(status) {
+			if status != http.StatusOK {
+				return fmt.Errorf("httpapi: %s: status %d", path, status)
+			}
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("httpapi: %s: status %d", path, status)
+		}
+		lastErr = err
+	}
+	c.recordErr(lastErr)
+	return lastErr
+}
+
+// once issues a single attempt. A non-2xx status is returned for the
+// caller to classify; only transport-level failures come back as err.
+func (c *Client) once(path string, body []byte, out interface{}) (int, error) {
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	method, rd := http.MethodGet, io.Reader(nil)
+	if body != nil {
+		method, rd = http.MethodPost, bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain so the connection can be reused, then report the status.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, nil
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Databases lists the server's databases (the stable /v1 shape).
+func (c *Client) Databases() ([]string, error) {
+	var names []string
+	if err := c.do("/v1/databases", nil, &names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// DatabaseInfos lists the server's databases with range counts and
+// resolution stats (/v2/databases).
+func (c *Client) DatabaseInfos() ([]DatabaseInfo, error) {
+	var infos []DatabaseInfo
+	if err := c.do("/v2/databases", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stats fetches the server's /v2/stats counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var s StatsResponse
+	if err := c.do("/v2/stats", nil, &s); err != nil {
+		return StatsResponse{}, err
+	}
+	return s, nil
+}
+
+// LookupAll queries every database for one address.
+func (c *Client) LookupAll(ip string) (LookupResponse, error) {
+	return c.lookup(ip, "")
+}
+
+func (c *Client) lookup(ip, db string) (LookupResponse, error) {
+	path := "/v1/lookup?ip=" + url.QueryEscape(ip)
+	if db != "" {
+		path += "&db=" + url.QueryEscape(db)
+	}
+	var out LookupResponse
+	if err := c.do(path, nil, &out); err != nil {
+		return LookupResponse{}, err
+	}
+	return out, nil
+}
+
+// BatchLookup resolves many addresses through POST /v2/lookup,
+// splitting the list into maxBatch-sized chunks fanned out over the
+// configured worker pool. The result preserves input order; malformed
+// addresses surface per-entry in BatchEntry.Error. The db filter is the
+// client's pinned DB (empty = all databases).
+func (c *Client) BatchLookup(ips []string) ([]BatchEntry, error) {
+	if len(ips) == 0 {
+		return nil, nil
+	}
+	size := c.batchSize()
+	type chunk struct{ lo, hi int }
+	var chunks []chunk
+	for lo := 0; lo < len(ips); lo += size {
+		hi := lo + size
+		if hi > len(ips) {
+			hi = len(ips)
+		}
+		chunks = append(chunks, chunk{lo, hi})
+	}
+
+	entries := make([]BatchEntry, len(ips))
+	var firstErr error
+	var errMu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := c.workers()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				ck := chunks[i]
+				body, err := json.Marshal(BatchRequest{IPs: ips[ck.lo:ck.hi], DB: c.DB})
+				if err == nil {
+					var resp BatchResponse
+					err = c.do("/v2/lookup", body, &resp)
+					if err == nil && len(resp.Entries) != ck.hi-ck.lo {
+						err = fmt.Errorf("httpapi: batch answer has %d entries, want %d",
+							len(resp.Entries), ck.hi-ck.lo)
+					}
+					if err == nil {
+						copy(entries[ck.lo:ck.hi], resp.Entries)
+						continue
+					}
+				}
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return entries, nil
+}
+
+// Name implements geodb.Provider.
+func (c *Client) Name() string { return c.DB }
+
+// TryLookup resolves one address in the pinned database, distinguishing
+// a transport failure (err != nil) from a genuine database miss
+// (ok == false, err == nil) — the distinction Lookup's Provider
+// signature cannot express.
+func (c *Client) TryLookup(a ipx.Addr) (geodb.Record, bool, error) {
+	if c.DB == "" {
+		return geodb.Record{}, false, errors.New("httpapi: no database pinned (set Client.DB or WithDatabase)")
+	}
+	resp, err := c.lookup(a.String(), c.DB)
+	if err != nil {
+		return geodb.Record{}, false, err
+	}
+	rj, ok := resp.Results[c.DB]
+	if !ok {
+		return geodb.Record{}, false, nil
+	}
+	rec, found := toRecord(rj)
+	return rec, found, nil
+}
+
+// Lookup implements geodb.Provider over the wire, so the core
+// evaluation can score a *remote* database exactly like a local one.
+// Transport errors surface as misses to honor the Provider contract,
+// but unlike the original client they are not silent: they tally in
+// TransportErrors and persist in Err, so an evaluation can detect
+// outage-tainted coverage numbers. Use TryLookup when the caller can
+// handle errors directly.
+func (c *Client) Lookup(a ipx.Addr) (geodb.Record, bool) {
+	rec, ok, err := c.TryLookup(a)
+	if err != nil {
+		return geodb.Record{}, false
+	}
+	return rec, ok
+}
+
+// compile-time interface check
+var _ geodb.Provider = (*Client)(nil)

@@ -1,0 +1,242 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"routergeo/internal/ipx"
+)
+
+// flakyTransport fails the first failures round trips (either with a
+// transport error or, when status is set, an HTTP error answer), then
+// delegates to the real transport.
+type flakyTransport struct {
+	failures int32
+	status   int // 0 = transport error, else this HTTP status
+	calls    atomic.Int32
+	next     http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.calls.Add(1)
+	if int(n) <= int(atomic.LoadInt32(&f.failures)) {
+		if f.status != 0 {
+			rec := httptest.NewRecorder()
+			rec.WriteHeader(f.status)
+			return rec.Result(), nil
+		}
+		return nil, errors.New("flaky: injected transport failure")
+	}
+	next := f.next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return next.RoundTrip(req)
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 2}
+	var slept []time.Duration
+	c := NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithRetries(3),
+		WithBackoff(10*time.Millisecond),
+		WithHTTPClient(&http.Client{Transport: ft}))
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	rec, ok, err := c.TryLookup(ipx.MustParseAddr("10.0.0.1"))
+	if err != nil || !ok {
+		t.Fatalf("TryLookup after retries = (%v, %v, %v)", rec, ok, err)
+	}
+	if rec.City != "Dallas" {
+		t.Errorf("rec = %+v", rec)
+	}
+	if got := ft.calls.Load(); got != 3 {
+		t.Errorf("round trips = %d, want 3 (2 failures + 1 success)", got)
+	}
+	// Exponential backoff: base, then base<<1.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("backoff sleeps = %v, want %v", slept, want)
+	}
+	if c.TransportErrors() != 0 {
+		t.Errorf("TransportErrors = %d after a recovered request", c.TransportErrors())
+	}
+}
+
+func TestClientRetries5xx(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 1, status: http.StatusServiceUnavailable}
+	c := NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithRetries(2),
+		WithBackoff(0),
+		WithHTTPClient(&http.Client{Transport: ft}))
+	if _, ok, err := c.TryLookup(ipx.MustParseAddr("10.0.0.1")); err != nil || !ok {
+		t.Fatalf("TryLookup = (_, %v, %v), want recovery from 503", ok, err)
+	}
+	if got := ft.calls.Load(); got != 2 {
+		t.Errorf("round trips = %d, want 2", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 99, status: http.StatusNotFound}
+	c := NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithRetries(3),
+		WithBackoff(0),
+		WithHTTPClient(&http.Client{Transport: ft}))
+	if _, _, err := c.TryLookup(ipx.MustParseAddr("10.0.0.1")); err == nil {
+		t.Fatal("TryLookup should fail on 404")
+	}
+	if got := ft.calls.Load(); got != 1 {
+		t.Errorf("round trips = %d, want 1 (client errors are final)", got)
+	}
+}
+
+func TestClientDistinguishesOutageFromMiss(t *testing.T) {
+	// The original client's defect: a dead server looked identical to an
+	// address with no coverage. TryLookup separates the two, and the
+	// Provider-shaped Lookup records the outage on the client.
+	dead := NewClient("http://127.0.0.1:1", WithDatabase("alpha"), WithRetries(0), WithTimeout(time.Second))
+	if _, ok, err := dead.TryLookup(ipx.MustParseAddr("10.0.0.1")); err == nil || ok {
+		t.Fatalf("TryLookup against dead server = (_, %v, %v), want transport error", ok, err)
+	}
+
+	if _, ok := dead.Lookup(ipx.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("Provider Lookup must still miss, not panic")
+	}
+	if dead.Err() == nil {
+		t.Error("Err() = nil after an outage; remote evaluations cannot detect tainted coverage")
+	}
+	if dead.TransportErrors() < 2 {
+		t.Errorf("TransportErrors = %d, want >= 2", dead.TransportErrors())
+	}
+
+	// A genuine miss leaves the error surface untouched.
+	srv := testServer(t)
+	healthy := NewClient(srv.URL, WithDatabase("alpha"))
+	if _, ok, err := healthy.TryLookup(ipx.MustParseAddr("192.0.2.1")); err != nil || ok {
+		t.Fatalf("miss = (_, %v, %v), want (false, nil)", ok, err)
+	}
+	if healthy.Err() != nil || healthy.TransportErrors() != 0 {
+		t.Error("a genuine miss must not count as a transport error")
+	}
+}
+
+func TestBatchLookupChunksAndPreservesOrder(t *testing.T) {
+	srv := testServer(t)
+	c := NewClient(srv.URL, WithClientMaxBatch(7), WithConcurrency(3))
+	n := 100
+	ips := make([]string, n)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.0.%d.%d", i/200, i%200)
+	}
+	ips[41] = "not-an-ip" // malformed entries must stay per-entry across chunks
+	entries, err := c.BatchLookup(ips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("entries = %d, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		if i == 41 {
+			if e.Error == "" {
+				t.Errorf("entry 41 should carry a parse error, got %+v", e)
+			}
+			continue
+		}
+		if e.IP != ips[i] || e.Error != "" {
+			t.Fatalf("entry %d = %+v, want ip %q (order lost?)", i, e, ips[i])
+		}
+		if !e.Results["alpha"].Found {
+			t.Fatalf("entry %d unresolved", i)
+		}
+	}
+}
+
+func TestBatchLookupRetriesFlakyTransport(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 3}
+	c := NewClient(srv.URL,
+		WithRetries(4),
+		WithBackoff(0),
+		WithClientMaxBatch(10),
+		WithConcurrency(2),
+		WithHTTPClient(&http.Client{Transport: ft}))
+	ips := make([]string, 30)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.0.0.%d", i+1)
+	}
+	entries, err := c.BatchLookup(ips)
+	if err != nil {
+		t.Fatalf("BatchLookup with retries = %v", err)
+	}
+	for i, e := range entries {
+		if e.IP != ips[i] {
+			t.Fatalf("entry %d = %q, want %q", i, e.IP, ips[i])
+		}
+	}
+}
+
+func TestBatchLookupSurfacesExhaustedRetries(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", WithRetries(1), WithBackoff(0), WithTimeout(time.Second))
+	if _, err := c.BatchLookup([]string{"10.0.0.1"}); err == nil {
+		t.Fatal("BatchLookup against a dead server must error, not fabricate misses")
+	}
+	if c.Err() == nil || c.TransportErrors() == 0 {
+		t.Error("exhausted retries must register on the error surface")
+	}
+}
+
+// TestBatchLookupConcurrentUse drives one shared client from many
+// goroutines; run under -race this guards the counters, the chunk
+// scatter and the error recording.
+func TestBatchLookupConcurrentUse(t *testing.T) {
+	srv := testServer(t)
+	c := NewClient(srv.URL, WithClientMaxBatch(5), WithConcurrency(4), WithDatabase("alpha"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ips := make([]string, 40)
+			for i := range ips {
+				ips[i] = fmt.Sprintf("10.0.%d.%d", g, i+1)
+			}
+			entries, err := c.BatchLookup(ips)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			for i, e := range entries {
+				if e.IP != ips[i] || !e.Results["alpha"].Found {
+					t.Errorf("goroutine %d entry %d = %+v", g, i, e)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Err() != nil {
+		t.Errorf("Err = %v", c.Err())
+	}
+}
+
+func TestBatchLookupEmpty(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // never dialed
+	entries, err := c.BatchLookup(nil)
+	if err != nil || entries != nil {
+		t.Fatalf("empty batch = (%v, %v)", entries, err)
+	}
+}

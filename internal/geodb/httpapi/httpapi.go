@@ -5,22 +5,32 @@
 // evaluation in internal/core can run unchanged against a remote
 // database by wrapping the client in the geodb.Provider interface.
 //
-// Endpoints:
+// The API has two generations. /v1 is the original one-address-per-
+// request surface and is kept stable for existing consumers; /v2 is
+// batch-first, sized for the paper's 1.64M-address Ark sweep, and adds
+// introspection endpoints:
 //
-//	GET /v1/databases           list served database names
-//	GET /v1/lookup?ip=A[&db=N]  look an address up in one or all databases
-//	GET /healthz                liveness
+//	GET  /v1/databases           list served database names (stable)
+//	GET  /v1/lookup?ip=A[&db=N]  look one address up (stable)
+//	POST /v2/lookup              batch lookup: {"ips":[...],"db":N}
+//	GET  /v2/databases           names plus range counts and resolution stats
+//	GET  /v2/stats               request counters, latency quantiles, hit/miss
+//	GET  /healthz                liveness ("ok", or "draining" during shutdown)
+//
+// The server side threads every request through a middleware stack
+// (panic recovery, request logging, metrics, timeouts, body-size caps);
+// the Client adds retries with exponential backoff, per-request
+// timeouts, and a bounded-concurrency BatchLookup. RemoteProvider
+// combines the two into a geodb.Provider that prefetches batches
+// through a worker pool, so remote evaluation runs at near-local
+// throughput.
 package httpapi
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
-	"net/url"
-	"sort"
 
 	"routergeo/internal/geodb"
-	"routergeo/internal/ipx"
 )
 
 // RecordJSON is the wire form of one geolocation answer.
@@ -49,142 +59,10 @@ func toJSON(rec geodb.Record, found bool) RecordJSON {
 	}
 }
 
-// LookupResponse is the /v1/lookup payload.
-type LookupResponse struct {
-	IP      string                `json:"ip"`
-	Results map[string]RecordJSON `json:"results"`
-}
-
-// NewHandler serves the given databases.
-func NewHandler(dbs []*geodb.DB) http.Handler {
-	byName := make(map[string]*geodb.DB, len(dbs))
-	var names []string
-	for _, db := range dbs {
-		byName[db.Name()] = db
-		names = append(names, db.Name())
-	}
-	sort.Strings(names)
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, names)
-	})
-	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
-		ipStr := r.URL.Query().Get("ip")
-		addr, err := ipx.ParseAddr(ipStr)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid or missing ip parameter"})
-			return
-		}
-		resp := LookupResponse{IP: addr.String(), Results: map[string]RecordJSON{}}
-		if dbName := r.URL.Query().Get("db"); dbName != "" {
-			db, ok := byName[dbName]
-			if !ok {
-				writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown database " + dbName})
-				return
-			}
-			rec, found := db.Lookup(addr)
-			resp.Results[dbName] = toJSON(rec, found)
-		} else {
-			for name, db := range byName {
-				rec, found := db.Lookup(addr)
-				resp.Results[name] = toJSON(rec, found)
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding to a ResponseWriter cannot meaningfully recover; ignore the
-	// error as net/http handlers conventionally do after headers are sent.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// Client talks to a server created by NewHandler.
-type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
-	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
-	// DB optionally pins every lookup to one database; required for the
-	// geodb.Provider adapter.
-	DB string
-}
-
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
-}
-
-// Databases lists the server's databases.
-func (c *Client) Databases() ([]string, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/databases")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpapi: databases: status %d", resp.StatusCode)
-	}
-	var names []string
-	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
-		return nil, err
-	}
-	return names, nil
-}
-
-// LookupAll queries every database for one address.
-func (c *Client) LookupAll(ip string) (LookupResponse, error) {
-	return c.lookup(ip, "")
-}
-
-func (c *Client) lookup(ip, db string) (LookupResponse, error) {
-	u := c.BaseURL + "/v1/lookup?ip=" + url.QueryEscape(ip)
-	if db != "" {
-		u += "&db=" + url.QueryEscape(db)
-	}
-	resp, err := c.httpClient().Get(u)
-	if err != nil {
-		return LookupResponse{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return LookupResponse{}, fmt.Errorf("httpapi: lookup: status %d", resp.StatusCode)
-	}
-	var out LookupResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return LookupResponse{}, err
-	}
-	return out, nil
-}
-
-// Name implements geodb.Provider.
-func (c *Client) Name() string { return c.DB }
-
-// Lookup implements geodb.Provider over the wire, so the core evaluation
-// can score a *remote* database exactly like a local one. Transport
-// errors surface as misses, which is how a lookup service outage would
-// look to a measurement pipeline.
-func (c *Client) Lookup(a ipx.Addr) (geodb.Record, bool) {
-	if c.DB == "" {
-		return geodb.Record{}, false
-	}
-	resp, err := c.lookup(a.String(), c.DB)
-	if err != nil {
-		return geodb.Record{}, false
-	}
-	rj, ok := resp.Results[c.DB]
-	if !ok || !rj.Found {
+// toRecord is toJSON's inverse, used by the client to rebuild a
+// geodb.Record from the wire form.
+func toRecord(rj RecordJSON) (geodb.Record, bool) {
+	if !rj.Found {
 		return geodb.Record{}, false
 	}
 	rec := geodb.Record{
@@ -202,5 +80,54 @@ func (c *Client) Lookup(a ipx.Addr) (geodb.Record, bool) {
 	return rec, true
 }
 
-// compile-time interface check
-var _ geodb.Provider = (*Client)(nil)
+// LookupResponse is the /v1/lookup payload.
+type LookupResponse struct {
+	IP      string                `json:"ip"`
+	Results map[string]RecordJSON `json:"results"`
+}
+
+// BatchRequest is the POST /v2/lookup body. DB optionally restricts the
+// lookup to one database; when empty every served database answers.
+type BatchRequest struct {
+	IPs []string `json:"ips"`
+	DB  string   `json:"db,omitempty"`
+}
+
+// BatchEntry is one address's answer inside a BatchResponse. A
+// malformed address carries its parse error here instead of failing the
+// whole request.
+type BatchEntry struct {
+	IP      string                `json:"ip"`
+	Error   string                `json:"error,omitempty"`
+	Results map[string]RecordJSON `json:"results,omitempty"`
+}
+
+// BatchResponse is the POST /v2/lookup payload. Entries preserves the
+// request order.
+type BatchResponse struct {
+	Entries []BatchEntry `json:"entries"`
+}
+
+// DatabaseInfo is one /v2/databases element: the name plus the range
+// counts the paper's coverage analysis cares about.
+type DatabaseInfo struct {
+	Name          string `json:"name"`
+	Ranges        int    `json:"ranges"`
+	CityRanges    int    `json:"city_ranges"`
+	CountryRanges int    `json:"country_ranges"`
+}
+
+// ErrorResponse is the body of every non-200 JSON answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// MaxBatch is set on 413 answers so clients can re-chunk.
+	MaxBatch int `json:"max_batch,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding to a ResponseWriter cannot meaningfully recover; ignore the
+	// error as net/http handlers conventionally do after headers are sent.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,146 @@
+package httpapi
+
+import (
+	"expvar"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the number of recent request latencies retained for
+// quantile estimation.
+const latencyWindow = 2048
+
+// DBStats is one database's hit/miss tally in a StatsResponse.
+type DBStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// StatsResponse is the GET /v2/stats payload.
+type StatsResponse struct {
+	// Requests counts every request through the middleware stack.
+	Requests int64 `json:"requests"`
+	// ByEndpoint counts requests per route (method + path).
+	ByEndpoint map[string]int64 `json:"by_endpoint"`
+	// Errors counts responses with status >= 400.
+	Errors int64 `json:"errors"`
+	// LatencyMs holds p50/p90/p99 over the last latencyWindow requests.
+	LatencyMs map[string]float64 `json:"latency_ms"`
+	// DBs tallies lookup hits and misses per database, across /v1 and
+	// /v2 alike.
+	DBs map[string]DBStats `json:"dbs"`
+	// Draining mirrors /healthz's shutdown state.
+	Draining bool `json:"draining"`
+}
+
+// dbTally is a pair of atomic counters. expvar.Int is an
+// atomically-updated int64 with a JSON String form, which is exactly
+// the counter the middleware needs; the instances stay unpublished so
+// multiple handlers never fight over global expvar names.
+type dbTally struct {
+	hits, misses expvar.Int
+}
+
+// metrics is the per-handler counter set the stats middleware feeds.
+type metrics struct {
+	requests expvar.Int
+	errors   expvar.Int
+
+	mu         sync.Mutex
+	byEndpoint map[string]int64
+	latencies  []time.Duration // ring buffer, latest latencyWindow samples
+	latIdx     int
+	latFull    bool
+
+	// byDB's key set is fixed at construction, so concurrent reads of the
+	// map itself are safe; the tallies are atomic.
+	byDB map[string]*dbTally
+}
+
+func newMetrics(dbNames []string) *metrics {
+	m := &metrics{
+		byEndpoint: make(map[string]int64),
+		latencies:  make([]time.Duration, latencyWindow),
+		byDB:       make(map[string]*dbTally, len(dbNames)),
+	}
+	for _, name := range dbNames {
+		m.byDB[name] = &dbTally{}
+	}
+	return m
+}
+
+// middleware counts the request, its endpoint, its status class and its
+// latency.
+func (m *metrics) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		m.requests.Add(1)
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+		elapsed := time.Since(start)
+		m.mu.Lock()
+		m.byEndpoint[r.Method+" "+r.URL.Path]++
+		m.latencies[m.latIdx] = elapsed
+		m.latIdx++
+		if m.latIdx == len(m.latencies) {
+			m.latIdx, m.latFull = 0, true
+		}
+		m.mu.Unlock()
+	})
+}
+
+// recordLookup tallies one database answer. Unknown names (impossible
+// from the handler, possible from future callers) are dropped rather
+// than grown, keeping the map read-only.
+func (m *metrics) recordLookup(db string, found bool) {
+	t, ok := m.byDB[db]
+	if !ok {
+		return
+	}
+	if found {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+}
+
+// snapshot assembles a StatsResponse from the live counters.
+func (m *metrics) snapshot() StatsResponse {
+	out := StatsResponse{
+		Requests:   m.requests.Value(),
+		Errors:     m.errors.Value(),
+		ByEndpoint: make(map[string]int64),
+		LatencyMs:  make(map[string]float64),
+		DBs:        make(map[string]DBStats, len(m.byDB)),
+	}
+	m.mu.Lock()
+	for ep, n := range m.byEndpoint {
+		out.ByEndpoint[ep] = n
+	}
+	n := m.latIdx
+	if m.latFull {
+		n = len(m.latencies)
+	}
+	sample := append([]time.Duration(nil), m.latencies[:n]...)
+	m.mu.Unlock()
+
+	if len(sample) > 0 {
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(sample)-1))
+			return float64(sample[i]) / float64(time.Millisecond)
+		}
+		out.LatencyMs["p50"] = q(0.50)
+		out.LatencyMs["p90"] = q(0.90)
+		out.LatencyMs["p99"] = q(0.99)
+	}
+	for name, t := range m.byDB {
+		out.DBs[name] = DBStats{Hits: t.hits.Value(), Misses: t.misses.Value()}
+	}
+	return out
+}

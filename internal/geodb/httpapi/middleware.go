@@ -1,0 +1,53 @@
+package httpapi
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// recoveryMiddleware converts a handler panic into a 500 instead of
+// tearing down the connection (and, under http.Server, the goroutine).
+func recoveryMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				// Headers may already be out; WriteHeader then is a no-op
+				// warning at worst.
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// loggingMiddleware writes one line per request: method, path, status,
+// duration.
+func loggingMiddleware(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		l.Printf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"fmt"
+	"sync"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// RemoteProvider adapts a Client into a geodb.Provider that performs
+// well over a network: addresses are fetched in /v2/lookup batches
+// through the client's bounded worker pool and cached, so a core
+// evaluation loop of single Lookup calls runs at near-local throughput
+// instead of paying one round trip per address.
+//
+// It implements core's Prefetcher hook: evaluation entry points hand
+// their whole target list over before the first Lookup, which turns the
+// paper's 1.64M-address sweep into a few dozen pipelined requests.
+// Addresses that were never prefetched fall back to a single remote
+// lookup per call.
+type RemoteProvider struct {
+	c *Client
+
+	mu    sync.RWMutex
+	cache map[ipx.Addr]cachedRecord
+}
+
+type cachedRecord struct {
+	rec   geodb.Record
+	found bool
+}
+
+// NewRemoteProvider wraps c, which must have a database pinned
+// (Client.DB / WithDatabase) so lookups have a well-defined answer.
+func NewRemoteProvider(c *Client) (*RemoteProvider, error) {
+	if c.DB == "" {
+		return nil, fmt.Errorf("httpapi: RemoteProvider needs a pinned database (set Client.DB or WithDatabase)")
+	}
+	return &RemoteProvider{c: c, cache: make(map[ipx.Addr]cachedRecord)}, nil
+}
+
+// Name implements geodb.Provider.
+func (p *RemoteProvider) Name() string { return p.c.DB }
+
+// Prefetch resolves every not-yet-cached address through batched,
+// concurrent /v2/lookup requests. It is idempotent and cheap to call
+// repeatedly with overlapping address sets (per-RIR and per-country
+// evaluation slices re-prefetch subsets of the same targets).
+func (p *RemoteProvider) Prefetch(addrs []ipx.Addr) error {
+	p.mu.RLock()
+	missing := make([]string, 0, len(addrs))
+	seen := make(map[ipx.Addr]bool, len(addrs))
+	order := make([]ipx.Addr, 0, len(addrs))
+	for _, a := range addrs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if _, ok := p.cache[a]; !ok {
+			missing = append(missing, a.String())
+			order = append(order, a)
+		}
+	}
+	p.mu.RUnlock()
+	if len(missing) == 0 {
+		return nil
+	}
+
+	entries, err := p.c.BatchLookup(missing)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range entries {
+		if e.Error != "" {
+			continue
+		}
+		rec, found := toRecord(e.Results[p.c.DB])
+		p.cache[order[i]] = cachedRecord{rec: rec, found: found}
+	}
+	return nil
+}
+
+// Lookup implements geodb.Provider: cached answers are served locally;
+// anything else falls back to one remote lookup (negative answers are
+// cached too, so an uncovered address costs one round trip once).
+// Transport failures surface as misses per the Provider contract but
+// tally on the underlying Client — check Err/TransportErrors after an
+// evaluation to detect outage-tainted results.
+func (p *RemoteProvider) Lookup(a ipx.Addr) (geodb.Record, bool) {
+	p.mu.RLock()
+	c, ok := p.cache[a]
+	p.mu.RUnlock()
+	if ok {
+		return c.rec, c.found
+	}
+	rec, found, err := p.c.TryLookup(a)
+	if err != nil {
+		// Not cached: a later retry against a healed server may answer.
+		return geodb.Record{}, false
+	}
+	p.mu.Lock()
+	p.cache[a] = cachedRecord{rec: rec, found: found}
+	p.mu.Unlock()
+	return rec, found
+}
+
+// Cached reports how many addresses are resolved locally.
+func (p *RemoteProvider) Cached() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.cache)
+}
+
+// Err exposes the underlying client's last transport error.
+func (p *RemoteProvider) Err() error { return p.c.Err() }
+
+// TransportErrors exposes the underlying client's failure count.
+func (p *RemoteProvider) TransportErrors() int64 { return p.c.TransportErrors() }
+
+// compile-time interface check
+var _ geodb.Provider = (*RemoteProvider)(nil)

@@ -1,0 +1,144 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"routergeo/internal/ipx"
+)
+
+func TestRemoteProviderNeedsPinnedDB(t *testing.T) {
+	if _, err := NewRemoteProvider(NewClient("http://x")); err == nil {
+		t.Fatal("RemoteProvider without a pinned database must be rejected")
+	}
+}
+
+// countingTransport tallies round trips so tests can prove batching
+// actually collapses the request count.
+type countingTransport struct {
+	calls atomic.Int64
+}
+
+func (c *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.calls.Add(1)
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func TestRemoteProviderPrefetchMatchesLocal(t *testing.T) {
+	srv := testServer(t)
+	local := testDBs(t)[0] // alpha
+	ct := &countingTransport{}
+	p, err := NewRemoteProvider(NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithConcurrency(4),
+		WithClientMaxBatch(50),
+		WithHTTPClient(&http.Client{Transport: ct})))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 500
+	addrs := make([]ipx.Addr, n)
+	for i := range addrs {
+		addrs[i] = ipx.MustParseAddr(fmt.Sprintf("10.0.%d.%d", i/200, i%200+1))
+	}
+	addrs = append(addrs, ipx.MustParseAddr("192.0.2.7")) // a genuine miss
+
+	if err := p.Prefetch(addrs); err != nil {
+		t.Fatal(err)
+	}
+	wantReqs := int64((len(addrs) + 49) / 50)
+	if got := ct.calls.Load(); got != wantReqs {
+		t.Errorf("prefetch used %d requests, want %d (batching broken)", got, wantReqs)
+	}
+	if p.Cached() != len(addrs) {
+		t.Errorf("Cached = %d, want %d", p.Cached(), len(addrs))
+	}
+
+	// Every post-prefetch Lookup is served locally: the request count
+	// must not move while answers stay bit-identical to the local DB.
+	before := ct.calls.Load()
+	for _, a := range addrs {
+		lr, lok := local.Lookup(a)
+		rr, rok := p.Lookup(a)
+		if lok != rok || lr != rr {
+			t.Fatalf("%s: local (%+v,%v) != remote (%+v,%v)", a, lr, lok, rr, rok)
+		}
+	}
+	if got := ct.calls.Load(); got != before {
+		t.Errorf("cached lookups issued %d extra requests", got-before)
+	}
+
+	// Re-prefetching the same set is free.
+	if err := p.Prefetch(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.calls.Load(); got != before {
+		t.Errorf("idempotent prefetch issued %d extra requests", got-before)
+	}
+	if err := p.Err(); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+func TestRemoteProviderFallbackWithoutPrefetch(t *testing.T) {
+	srv := testServer(t)
+	p, err := NewRemoteProvider(NewClient(srv.URL, WithDatabase("alpha")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ipx.MustParseAddr("10.0.0.1")
+	rec, ok := p.Lookup(a)
+	if !ok || rec.City != "Dallas" {
+		t.Fatalf("fallback lookup = (%+v, %v)", rec, ok)
+	}
+	if p.Cached() != 1 {
+		t.Errorf("Cached = %d, want 1 (fallback answers are cached)", p.Cached())
+	}
+}
+
+func TestRemoteProviderPrefetchSurfacesOutage(t *testing.T) {
+	p, err := NewRemoteProvider(NewClient("http://127.0.0.1:1",
+		WithDatabase("alpha"), WithRetries(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prefetch([]ipx.Addr{ipx.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Fatal("prefetch against a dead server must error")
+	}
+	if p.Err() == nil || p.TransportErrors() == 0 {
+		t.Error("outage must register on the provider's error surface")
+	}
+	// The failed addresses were not cached as misses.
+	if p.Cached() != 0 {
+		t.Errorf("Cached = %d after failed prefetch, want 0", p.Cached())
+	}
+}
+
+func TestRemoteProviderPartialPrefetchTopUp(t *testing.T) {
+	srv := testServer(t)
+	ct := &countingTransport{}
+	p, err := NewRemoteProvider(NewClient(srv.URL,
+		WithDatabase("alpha"), WithClientMaxBatch(100),
+		WithHTTPClient(&http.Client{Transport: ct})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []ipx.Addr{ipx.MustParseAddr("10.0.0.1"), ipx.MustParseAddr("10.0.0.2")}
+	if err := p.Prefetch(first); err != nil {
+		t.Fatal(err)
+	}
+	// A superset prefetch only fetches the delta.
+	super := append(append([]ipx.Addr(nil), first...), ipx.MustParseAddr("10.0.0.3"))
+	if err := p.Prefetch(super); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.calls.Load(); got != 2 {
+		t.Errorf("requests = %d, want 2 (one per prefetch, second fetches only the delta)", got)
+	}
+	if p.Cached() != 3 {
+		t.Errorf("Cached = %d, want 3", p.Cached())
+	}
+}

@@ -1,0 +1,292 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// Server defaults; all overridable through ServerOptions.
+const (
+	// DefaultMaxBatch bounds one POST /v2/lookup request. 100k keeps the
+	// paper's 1.64M-address Ark sweep under twenty round trips while
+	// capping per-request memory.
+	DefaultMaxBatch = 100_000
+	// DefaultMaxBodyBytes caps the /v2/lookup request body (a 100k-address
+	// batch is under 2 MiB of JSON).
+	DefaultMaxBodyBytes = 16 << 20
+	// DefaultRequestTimeout bounds one request end to end.
+	DefaultRequestTimeout = 60 * time.Second
+	// parallelBatchThreshold is the batch size above which the server
+	// resolves entries with a worker pool instead of a single goroutine.
+	parallelBatchThreshold = 256
+)
+
+// ServerOption configures NewHandler.
+type ServerOption func(*Handler)
+
+// WithMaxBatch caps the number of addresses in one /v2/lookup request;
+// larger batches are rejected with 413.
+func WithMaxBatch(n int) ServerOption {
+	return func(h *Handler) {
+		if n > 0 {
+			h.maxBatch = n
+		}
+	}
+}
+
+// WithMaxBodyBytes caps the /v2/lookup request body size.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(h *Handler) {
+		if n > 0 {
+			h.maxBody = n
+		}
+	}
+}
+
+// WithRequestTimeout bounds each request end to end; 0 disables the
+// timeout middleware.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(h *Handler) { h.timeout = d }
+}
+
+// WithServerConcurrency sets the worker-pool width used to resolve
+// large batches. Defaults to GOMAXPROCS.
+func WithServerConcurrency(n int) ServerOption {
+	return func(h *Handler) {
+		if n > 0 {
+			h.concurrency = n
+		}
+	}
+}
+
+// WithLogger enables request logging to l (one line per request:
+// method, path, status, duration). nil keeps logging off.
+func WithLogger(l *log.Logger) ServerOption {
+	return func(h *Handler) { h.logger = l }
+}
+
+// Handler serves the /v1 and /v2 API over a fixed set of databases. It
+// is immutable after NewHandler except for the draining flag and its
+// metrics, both safe for concurrent use.
+type Handler struct {
+	byName map[string]*geodb.DB
+	names  []string
+	infos  []DatabaseInfo
+
+	maxBatch    int
+	maxBody     int64
+	timeout     time.Duration
+	concurrency int
+	logger      *log.Logger
+
+	draining atomic.Bool
+	metrics  *metrics
+
+	serve http.Handler
+}
+
+// NewHandler serves the given databases behind the full middleware
+// stack (panic recovery, optional request logging, metrics, request
+// timeout).
+func NewHandler(dbs []*geodb.DB, opts ...ServerOption) *Handler {
+	h := &Handler{
+		byName:      make(map[string]*geodb.DB, len(dbs)),
+		maxBatch:    DefaultMaxBatch,
+		maxBody:     DefaultMaxBodyBytes,
+		timeout:     DefaultRequestTimeout,
+		concurrency: runtime.GOMAXPROCS(0),
+	}
+	for _, db := range dbs {
+		h.byName[db.Name()] = db
+		h.names = append(h.names, db.Name())
+	}
+	sort.Strings(h.names)
+	for _, name := range h.names {
+		h.infos = append(h.infos, databaseInfo(h.byName[name]))
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	h.metrics = newMetrics(h.names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.HandleFunc("GET /v1/databases", h.handleV1Databases)
+	mux.HandleFunc("GET /v1/lookup", h.handleV1Lookup)
+	mux.HandleFunc("POST /v2/lookup", h.handleV2Lookup)
+	mux.HandleFunc("GET /v2/databases", h.handleV2Databases)
+	mux.HandleFunc("GET /v2/stats", h.handleV2Stats)
+
+	var stack http.Handler = mux
+	if h.timeout > 0 {
+		stack = http.TimeoutHandler(stack, h.timeout, `{"error":"request timed out"}`)
+	}
+	stack = h.metrics.middleware(stack)
+	if h.logger != nil {
+		stack = loggingMiddleware(h.logger, stack)
+	}
+	stack = recoveryMiddleware(stack)
+	h.serve = stack
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.serve.ServeHTTP(w, r)
+}
+
+// SetDraining flips the /healthz answer between "ok" (200) and
+// "draining" (503), so load balancers stop routing to a server that is
+// shutting down while in-flight requests finish.
+func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports the current drain state.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (h *Handler) handleV1Databases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.names)
+}
+
+func (h *Handler) handleV1Lookup(w http.ResponseWriter, r *http.Request) {
+	ipStr := r.URL.Query().Get("ip")
+	addr, err := ipx.ParseAddr(ipStr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid or missing ip parameter"})
+		return
+	}
+	dbName := r.URL.Query().Get("db")
+	if dbName != "" {
+		if _, ok := h.byName[dbName]; !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown database " + dbName})
+			return
+		}
+	}
+	resp := LookupResponse{IP: addr.String(), Results: h.resolve(addr, dbName)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolve answers one address from one database (dbName != "") or all.
+func (h *Handler) resolve(addr ipx.Addr, dbName string) map[string]RecordJSON {
+	out := make(map[string]RecordJSON, len(h.byName))
+	for name, db := range h.byName {
+		if dbName != "" && name != dbName {
+			continue
+		}
+		rec, found := db.Lookup(addr)
+		h.metrics.recordLookup(name, found)
+		out[name] = toJSON(rec, found)
+	}
+	return out
+}
+
+func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Error: "request body too large", MaxBatch: h.maxBatch})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON body: " + err.Error()})
+		return
+	}
+	if len(req.IPs) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty ips list"})
+		return
+	}
+	if len(req.IPs) > h.maxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: "batch too large", MaxBatch: h.maxBatch})
+		return
+	}
+	if req.DB != "" {
+		if _, ok := h.byName[req.DB]; !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown database " + req.DB})
+			return
+		}
+	}
+
+	entries := make([]BatchEntry, len(req.IPs))
+	fill := func(i int) {
+		ip := req.IPs[i]
+		addr, err := ipx.ParseAddr(ip)
+		if err != nil {
+			// Per-entry failure: the rest of the batch still resolves.
+			entries[i] = BatchEntry{IP: ip, Error: err.Error()}
+			return
+		}
+		entries[i] = BatchEntry{IP: addr.String(), Results: h.resolve(addr, req.DB)}
+	}
+	if len(entries) <= parallelBatchThreshold || h.concurrency <= 1 {
+		for i := range entries {
+			fill(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < h.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(entries) {
+						return
+					}
+					fill(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Entries: entries})
+}
+
+func (h *Handler) handleV2Databases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.infos)
+}
+
+func (h *Handler) handleV2Stats(w http.ResponseWriter, r *http.Request) {
+	s := h.metrics.snapshot()
+	s.Draining = h.draining.Load()
+	writeJSON(w, http.StatusOK, s)
+}
+
+func databaseInfo(db *geodb.DB) DatabaseInfo {
+	info := DatabaseInfo{Name: db.Name(), Ranges: db.Len()}
+	db.Walk(func(_ ipx.Range, rec geodb.Record) bool {
+		switch rec.Resolution {
+		case geodb.ResolutionCity:
+			info.CityRanges++
+		case geodb.ResolutionCountry:
+			info.CountryRanges++
+		}
+		return true
+	})
+	return info
+}
+
+// compile-time interface check
+var _ http.Handler = (*Handler)(nil)

@@ -121,6 +121,36 @@ func (s *Study) Lookup(db, ip string) (Location, bool) {
 	return locationFromRecord(rec), true
 }
 
+// BatchResult is one address's answer from LookupBatch, mirroring the
+// per-entry semantics of the HTTP API's POST /v2/lookup: a malformed
+// address carries its error without failing the rest of the batch.
+type BatchResult struct {
+	IP       string
+	Location Location
+	Found    bool
+	Err      string // parse error for this entry, "" when well-formed
+}
+
+// LookupBatch queries one database for many addresses at once — the
+// facade twin of the batch /v2/lookup endpoint, sized for sweeps like
+// the paper's 1.64M-address Ark set. Results preserve input order.
+func (s *Study) LookupBatch(db string, ips []string) []BatchResult {
+	provider := s.env.DB(db)
+	out := make([]BatchResult, len(ips))
+	for i, ip := range ips {
+		addr, err := ipx.ParseAddr(ip)
+		if err != nil {
+			out[i] = BatchResult{IP: ip, Err: err.Error()}
+			continue
+		}
+		out[i] = BatchResult{IP: addr.String()}
+		if rec, ok := provider.Lookup(addr); ok {
+			out[i].Location, out[i].Found = locationFromRecord(rec), true
+		}
+	}
+	return out
+}
+
 // TrueLocation returns the simulator's exact truth for a router interface
 // address; ok is false for addresses with no interface.
 func (s *Study) TrueLocation(ip string) (Location, bool) {
