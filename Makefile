@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet fmt build test race bench
 
-check: vet build race
+check: vet fmt build race
 
 vet:
 	$(GO) vet ./...
+
+# gofmt -l prints nonconforming files; any output fails the gate.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -16,9 +23,13 @@ build:
 test:
 	$(GO) test ./...
 
+# The obs package is all atomics and locks; race it first and fast,
+# then the rest of the tree.
 race:
+	$(GO) test -race ./internal/obs/...
 	$(GO) test -race ./...
 
-# Quantifies the /v2 batching win among everything else.
+# Module-wide benchmarks (batching win, histogram/span overhead, ...),
+# teed into BENCH_obs.json for comparison across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench . -benchmem -run ^$$ ./... | tee BENCH_obs.json

@@ -12,6 +12,7 @@ package routergeo
 // the benchmarks quantify the cost of every analysis.
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
 	"sync"
@@ -31,7 +32,7 @@ func benchEnvironment(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
 		cfg := experiments.DefaultConfig()
-		benchEnv, benchErr = experiments.NewEnv(cfg)
+		benchEnv, benchErr = experiments.NewEnv(context.Background(), cfg)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -48,7 +49,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := exp.Run(io.Discard, env); err != nil {
+		if err := experiments.RunOne(context.Background(), exp, io.Discard, env); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +61,7 @@ func BenchmarkBuildEnvironment(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	cfg.World.ASes = 250 // quick scale; the default world is benched once below
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.NewEnv(cfg); err != nil {
+		if _, err := experiments.NewEnv(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"routergeo/internal/ark/wartslite"
 	"routergeo/internal/ipx"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/traceroute"
 )
 
@@ -31,7 +33,13 @@ func main() {
 		out      = flag.String("out", "", "write one observed address per line to this file ('-' = stdout)")
 		warts    = flag.String("warts", "", "archive every raw trace to this file in the wartslite container")
 	)
+	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := lf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "arkcollect:", err)
+		os.Exit(2)
+	}
 
 	wcfg := netsim.DefaultConfig()
 	wcfg.Seed = *seed
@@ -72,7 +80,7 @@ func main() {
 		}
 	}
 
-	coll := ark.Collect(w, acfg)
+	coll := ark.Collect(context.Background(), w, acfg)
 
 	if *warts != "" {
 		f, err := os.Create(*warts)

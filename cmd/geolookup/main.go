@@ -33,6 +33,7 @@ import (
 	"routergeo/internal/geodb/dbfile"
 	"routergeo/internal/geodb/httpapi"
 	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
 )
 
 type dbList []string
@@ -46,8 +47,15 @@ func main() {
 		remoteDB = flag.String("rdb", "", "with -server: restrict lookups to one database name")
 		dbPaths  dbList
 	)
+	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
 	flag.Parse()
+
+	// Setup installs the slog default the client's retry warnings go to.
+	if _, err := lf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "geolookup:", err)
+		os.Exit(2)
+	}
 
 	if *server != "" {
 		os.Exit(remoteMain(*server, *remoteDB, flag.Args()))

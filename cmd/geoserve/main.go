@@ -22,8 +22,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,6 +36,7 @@ import (
 	"routergeo/internal/geodb"
 	"routergeo/internal/geodb/dbfile"
 	"routergeo/internal/geodb/httpapi"
+	"routergeo/internal/obs"
 )
 
 type dbList []string
@@ -52,11 +54,19 @@ func main() {
 		timeout     = flag.Duration("timeout", httpapi.DefaultRequestTimeout, "per-request timeout (0 disables)")
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		grace       = flag.Duration("grace", time.Second, "delay between /healthz flipping to draining and the listener closing")
-		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		quiet       = flag.Bool("quiet", false, "silence routine access logs (4xx/5xx still log)")
+		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof and /debug/metrics")
 		dbPaths     dbList
 	)
+	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
 	flag.Parse()
+
+	logger, err := lf.Setup(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geoserve:", err)
+		os.Exit(2)
+	}
 
 	var dbs []*geodb.DB
 	switch {
@@ -65,7 +75,7 @@ func main() {
 		cfg.World.Seed = *seed
 		fmt.Fprintln(os.Stderr, "building study...")
 		start := time.Now()
-		env, err := experiments.NewEnv(cfg)
+		env, err := experiments.NewEnv(context.Background(), cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "geoserve:", err)
 			os.Exit(1)
@@ -97,10 +107,34 @@ func main() {
 	if *concurrency > 0 {
 		opts = append(opts, httpapi.WithServerConcurrency(*concurrency))
 	}
-	if !*quiet {
-		opts = append(opts, httpapi.WithLogger(log.New(os.Stderr, "", log.LstdFlags)))
+	// The access logger is always installed; -quiet raises its floor to
+	// Warn so routine 2xx traffic goes silent while 4xx/5xx still log.
+	accessLogger := logger
+	if *quiet {
+		level := lf.MinLevel()
+		if level < slog.LevelWarn {
+			level = slog.LevelWarn
+		}
+		accessLogger = obs.NewLogger(os.Stderr, level, lf.Format)
 	}
+	opts = append(opts, httpapi.WithLogger(accessLogger))
 	handler := httpapi.NewHandler(dbs, opts...)
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/metrics", handler.Registry().Handler())
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"strconv"
 
 	"routergeo/internal/experiments"
+	"routergeo/internal/obs"
 )
 
 func main() {
@@ -25,14 +27,21 @@ func main() {
 		ases    = flag.Int("ases", 0, "number of ASes (0 = default)")
 		csvPath = flag.String("csv", "", "write the merged ground truth as CSV to this path")
 	)
+	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := lf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gtbuild:", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.World.Seed = *seed
 	if *ases > 0 {
 		cfg.World.ASes = *ases
 	}
-	env, err := experiments.NewEnv(cfg)
+	ctx := context.Background()
+	env, err := experiments.NewEnv(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gtbuild:", err)
 		os.Exit(1)
@@ -41,7 +50,7 @@ func main() {
 	for _, id := range []string{"table1", "sec31", "sec32"} {
 		exp, _ := experiments.ByID(id)
 		fmt.Printf("\n================ %s — %s ================\n", exp.ID, exp.Title)
-		if err := exp.Run(os.Stdout, env); err != nil {
+		if err := experiments.RunOne(ctx, exp, os.Stdout, env); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbuild:", err)
 			os.Exit(1)
 		}

@@ -11,12 +11,17 @@
 //
 // With no flags it runs every experiment. -list names them; -run selects
 // a subset; -dbdir additionally exports the four vendor databases in the
-// dbfile binary format for use with cmd/geolookup.
+// dbfile binary format for use with cmd/geolookup. Every evaluation run
+// writes a JSON run manifest (-manifest, default routergeo-run.json)
+// recording the config, the stage tree with per-stage timings and item
+// counts, and the headline dataset sizes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +29,7 @@ import (
 
 	"routergeo/internal/experiments"
 	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/obs"
 )
 
 func main() {
@@ -36,8 +42,15 @@ func main() {
 		dbdir     = flag.String("dbdir", "", "export the vendor databases to this directory")
 		plotdir   = flag.String("plotdir", "", "export figure series as TSV files to this directory")
 		stability = flag.Int("stability", 0, "instead of experiments, rebuild the pipeline under N seeds and print headline metrics")
+		manifest  = flag.String("manifest", "routergeo-run.json", "write the JSON run manifest here (empty disables)")
 	)
+	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := lf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "routergeo:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -57,66 +70,88 @@ func main() {
 		cfg.World.ASes = *ases
 	}
 
+	rec := obs.NewRun("routergeo")
+	rec.SetSeed(*seed)
+	if err := rec.SetConfig(cfg); err != nil {
+		slog.Warn("run config not recorded", "error", err)
+	}
+	ctx := rec.Context(context.Background())
+	writeManifest := func() {
+		if *manifest == "" {
+			return
+		}
+		if err := rec.WriteManifest(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote run manifest to %s\n", *manifest)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "routergeo:", err)
+		writeManifest()
+		os.Exit(1)
+	}
+
 	if *stability > 0 {
 		seeds := make([]int64, *stability)
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
-		if err := experiments.StabilityReport(os.Stdout, cfg, seeds); err != nil {
-			fmt.Fprintln(os.Stderr, "routergeo:", err)
-			os.Exit(1)
+		if err := experiments.StabilityReport(ctx, os.Stdout, cfg, seeds); err != nil {
+			fail(err)
 		}
+		writeManifest()
 		return
 	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building environment (world seed %d)...\n", *seed)
-	env, err := experiments.NewEnv(cfg)
+	env, err := experiments.NewEnv(ctx, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "routergeo:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "environment ready in %v: %d routers, %d interfaces, %d Ark addresses, %d ground-truth addresses\n",
 		time.Since(start).Round(time.Millisecond),
 		env.W.NumRouters(), env.W.NumInterfaces(), len(env.ArkAddrs), env.GT.Len())
+	rec.SetCount("routers", int64(env.W.NumRouters()))
+	rec.SetCount("interfaces", int64(env.W.NumInterfaces()))
+	rec.SetCount("ark_addresses", int64(len(env.ArkAddrs)))
+	rec.SetCount("ground_truth", int64(env.GT.Len()))
+	rec.SetCount("targets", int64(len(env.Targets)))
 
 	if *dbdir != "" {
 		if err := os.MkdirAll(*dbdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "routergeo:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		for _, db := range env.DBs {
 			path := filepath.Join(*dbdir, strings.ToLower(db.Name())+".rgdb")
 			if err := dbfile.WriteFile(path, db); err != nil {
-				fmt.Fprintln(os.Stderr, "routergeo:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (%d ranges)\n", path, db.Len())
 		}
 	}
 
 	if *plotdir != "" {
-		if err := experiments.WritePlotData(*plotdir, env); err != nil {
-			fmt.Fprintln(os.Stderr, "routergeo:", err)
-			os.Exit(1)
+		if err := experiments.WritePlotData(ctx, *plotdir, env); err != nil {
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote figure series to %s\n", *plotdir)
 	}
 
 	if *run == "" {
-		if err := experiments.RunAll(os.Stdout, env); err != nil {
-			fmt.Fprintln(os.Stderr, "routergeo:", err)
-			os.Exit(1)
+		if err := experiments.RunAll(ctx, os.Stdout, env); err != nil {
+			fail(err)
 		}
 		if *ext {
 			for _, e := range experiments.Extensions() {
 				fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
-				if err := e.Run(os.Stdout, env); err != nil {
-					fmt.Fprintln(os.Stderr, "routergeo:", err)
-					os.Exit(1)
+				if err := experiments.RunOne(ctx, e, os.Stdout, env); err != nil {
+					fail(err)
 				}
 			}
 		}
+		writeManifest()
 		return
 	}
 	for _, id := range strings.Split(*run, ",") {
@@ -127,9 +162,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout, env); err != nil {
-			fmt.Fprintln(os.Stderr, "routergeo:", err)
-			os.Exit(1)
+		if err := experiments.RunOne(ctx, e, os.Stdout, env); err != nil {
+			fail(err)
 		}
 	}
+	writeManifest()
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -31,7 +32,8 @@ func main() {
 	cfg.World.ASes = 250
 	cfg.Atlas.Probes = 600
 	cfg.OneMsProbes = 900
-	env, err := experiments.NewEnv(cfg)
+	ctx := context.Background()
+	env, err := experiments.NewEnv(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,14 +46,14 @@ func main() {
 	fmt.Printf("%-18s %13s %13s %15s %12s\n",
 		"database", "country acc", "city acc", "transport", "eval time")
 	for _, db := range env.DBs {
-		local := core.MeasureAccuracy(db, env.Targets)
+		local := core.MeasureAccuracy(ctx, db, env.Targets)
 		fmt.Printf("%-18s %12.1f%% %12.1f%% %15s %12s\n",
 			db.Name(), 100*local.CountryAccuracy(), 100*local.CityAccuracy(), "local", "-")
 
 		// Path 1: single-lookup client — one GET /v1/lookup per address.
 		single := httpapi.NewClient(srv.URL, httpapi.WithDatabase(db.Name()))
 		start := time.Now()
-		remoteSingle := core.MeasureAccuracy(single, env.Targets)
+		remoteSingle := core.MeasureAccuracy(ctx, single, env.Targets)
 		singleTime := time.Since(start)
 		fmt.Printf("%-18s %12.1f%% %12.1f%% %15s %12s\n",
 			"", 100*remoteSingle.CountryAccuracy(), 100*remoteSingle.CityAccuracy(),
@@ -67,7 +69,7 @@ func main() {
 			log.Fatal(err)
 		}
 		start = time.Now()
-		remoteBatch := core.MeasureAccuracy(batched, env.Targets)
+		remoteBatch := core.MeasureAccuracy(ctx, batched, env.Targets)
 		batchTime := time.Since(start)
 		fmt.Printf("%-18s %12.1f%% %12.1f%% %15s %12s\n",
 			"", 100*remoteBatch.CountryAccuracy(), 100*remoteBatch.CityAccuracy(),

@@ -2,6 +2,7 @@ package ark
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"routergeo/internal/ark/wartslite"
@@ -105,7 +106,7 @@ func TestExtractFromTracesMatchesLiveCollection(t *testing.T) {
 		}
 		archived = append(archived, tr)
 	}
-	live := Collect(w, cfg)
+	live := Collect(context.Background(), w, cfg)
 
 	// Round-trip the archive through the binary container.
 	names := make([]string, len(live.Monitors))

@@ -8,12 +8,14 @@
 package ark
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"routergeo/internal/gazetteer"
 	"routergeo/internal/ipx"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/traceroute"
 )
 
@@ -66,7 +68,9 @@ type Collection struct {
 }
 
 // Collect runs one full sweep over every routed /24 in the world.
-func Collect(w *netsim.World, cfg Config) *Collection {
+func Collect(ctx context.Context, w *netsim.World, cfg Config) *Collection {
+	_, sp := obs.Start(ctx, "ark.collect")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	eng := traceroute.New(w)
 
@@ -87,8 +91,13 @@ func Collect(w *netsim.World, cfg Config) *Collection {
 	if cycles < 1 {
 		cycles = 1
 	}
+	sp.SetAttr("monitors", len(monitors))
+	sp.SetAttr("cycles", cycles)
+	prog := obs.NewProgress("ark.collect", int64(cycles)*int64(len(blocks)))
+	defer prog.Finish()
 	for cycle := 0; cycle < cycles; cycle++ {
 		for _, blk := range blocks {
+			prog.Add(1)
 			// Ark picks a random address inside each /24.
 			target := blk.Base + ipx.Addr(1+rng.Intn(254))
 			dst, ok := w.DestRouterFor(target)
@@ -118,6 +127,8 @@ func Collect(w *netsim.World, cfg Config) *Collection {
 	sort.Slice(c.Interfaces, func(i, j int) bool {
 		return w.Interfaces[c.Interfaces[i]].Addr < w.Interfaces[c.Interfaces[j]].Addr
 	})
+	sp.SetItems(int64(len(c.Interfaces)))
+	sp.SetAttr("traces", c.Traces)
 	return c
 }
 

@@ -1,6 +1,7 @@
 package ark
 
 import (
+	"context"
 	"testing"
 
 	"routergeo/internal/netsim"
@@ -22,7 +23,7 @@ func testSetup(t *testing.T) (*netsim.World, *Collection) {
 			t.Fatal(err)
 		}
 		cachedWorld = w
-		cachedColl = Collect(w, DefaultConfig())
+		cachedColl = Collect(context.Background(), w, DefaultConfig())
 	}
 	return cachedWorld, cachedColl
 }
@@ -115,8 +116,8 @@ func TestMonitorsPlacedAndAttached(t *testing.T) {
 
 func TestCollectDeterministic(t *testing.T) {
 	w, _ := testSetup(t)
-	a := Collect(w, Config{Monitors: 10, MonitorsPerTarget: 1, Seed: 3})
-	b := Collect(w, Config{Monitors: 10, MonitorsPerTarget: 1, Seed: 3})
+	a := Collect(context.Background(), w, Config{Monitors: 10, MonitorsPerTarget: 1, Seed: 3})
+	b := Collect(context.Background(), w, Config{Monitors: 10, MonitorsPerTarget: 1, Seed: 3})
 	if len(a.Interfaces) != len(b.Interfaces) {
 		t.Fatalf("non-deterministic: %d vs %d interfaces", len(a.Interfaces), len(b.Interfaces))
 	}
@@ -129,7 +130,7 @@ func TestCollectDeterministic(t *testing.T) {
 
 func TestSmallerSweepSeesLess(t *testing.T) {
 	w, c := testSetup(t)
-	small := Collect(w, Config{Monitors: 3, MonitorsPerTarget: 1, Seed: 5})
+	small := Collect(context.Background(), w, Config{Monitors: 3, MonitorsPerTarget: 1, Seed: 5})
 	if len(small.Interfaces) >= len(c.Interfaces) {
 		t.Errorf("3-monitor sweep (%d) saw at least as much as 60-monitor sweep (%d)",
 			len(small.Interfaces), len(c.Interfaces))

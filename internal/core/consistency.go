@@ -1,19 +1,30 @@
 package core
 
 import (
+	"context"
+
 	"routergeo/internal/geodb"
 	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
 	"routergeo/internal/stats"
 )
 
 // CountryAgreement counts pairwise country-level agreement over the
 // addresses both databases answer (§5.1).
-func CountryAgreement(a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
+func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
+	_, sp := obs.Start(ctx, "core.country_agreement")
+	defer sp.End()
+	sp.SetAttr("db_a", a.Name())
+	sp.SetAttr("db_b", b.Name())
+	sp.SetItems(int64(len(addrs)))
+	prog := obs.NewProgress("core.country_agreement "+a.Name()+"/"+b.Name(), int64(len(addrs)))
+	defer prog.Finish()
 	prefetch(a, addrs)
 	prefetch(b, addrs)
 	for _, addr := range addrs {
 		ra, okA := a.Lookup(addr)
 		rb, okB := b.Lookup(addr)
+		prog.Add(1)
 		if !okA || !okB || !ra.HasCountry() || !rb.HasCountry() {
 			continue
 		}
@@ -27,7 +38,13 @@ func CountryAgreement(a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
 
 // CountryAgreementAll counts addresses on which *every* database agrees at
 // country level (the paper's 95.8% over 1.64M addresses).
-func CountryAgreementAll(dbs []geodb.Provider, addrs []ipx.Addr) (agree, total int) {
+func CountryAgreementAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Addr) (agree, total int) {
+	_, sp := obs.Start(ctx, "core.country_agreement_all")
+	defer sp.End()
+	sp.SetAttr("dbs", len(dbs))
+	sp.SetItems(int64(len(addrs)))
+	prog := obs.NewProgress("core.country_agreement_all", int64(len(addrs)))
+	defer prog.Finish()
 	total = len(addrs)
 	for _, addr := range addrs {
 		country := ""
@@ -45,6 +62,7 @@ func CountryAgreementAll(dbs []geodb.Provider, addrs []ipx.Addr) (agree, total i
 				break
 			}
 		}
+		prog.Add(1)
 		if ok {
 			agree++
 		}
@@ -65,13 +83,21 @@ type PairwiseCity struct {
 }
 
 // MeasurePairwiseCity computes the Figure 1 comparison for one pair.
-func MeasurePairwiseCity(a, b geodb.Provider, addrs []ipx.Addr) PairwiseCity {
+func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr) PairwiseCity {
+	_, sp := obs.Start(ctx, "core.pairwise_city")
+	defer sp.End()
+	sp.SetAttr("db_a", a.Name())
+	sp.SetAttr("db_b", b.Name())
+	sp.SetItems(int64(len(addrs)))
+	prog := obs.NewProgress("core.pairwise_city "+a.Name()+"/"+b.Name(), int64(len(addrs)))
+	defer prog.Finish()
 	prefetch(a, addrs)
 	prefetch(b, addrs)
 	out := PairwiseCity{CDF: &stats.ECDF{}}
 	for _, addr := range addrs {
 		ra, okA := a.Lookup(addr)
 		rb, okB := b.Lookup(addr)
+		prog.Add(1)
 		if !okA || !okB || !ra.HasCity() || !rb.HasCity() {
 			continue
 		}
@@ -98,7 +124,13 @@ func (p PairwiseCity) DisagreeOver40Pct() float64 {
 
 // CityAnsweredInAll filters addrs to those with city-level coordinates in
 // every database — the ~692K-address subset Figure 1 is computed over.
-func CityAnsweredInAll(dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
+func CityAnsweredInAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
+	_, sp := obs.Start(ctx, "core.city_answered_in_all")
+	defer sp.End()
+	sp.SetAttr("dbs", len(dbs))
+	sp.SetItems(int64(len(addrs)))
+	prog := obs.NewProgress("core.city_answered_in_all", int64(len(addrs)))
+	defer prog.Finish()
 	var out []ipx.Addr
 	for _, addr := range addrs {
 		all := true
@@ -109,6 +141,7 @@ func CityAnsweredInAll(dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
 				break
 			}
 		}
+		prog.Add(1)
 		if all {
 			out = append(out, addr)
 		}

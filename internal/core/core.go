@@ -19,11 +19,14 @@
 package core
 
 import (
+	"context"
+
 	"routergeo/internal/geo"
 	"routergeo/internal/geodb"
 	"routergeo/internal/groundtruth"
 	"routergeo/internal/ipx"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/stats"
 )
 
@@ -100,11 +103,18 @@ func prefetchTargets(db geodb.Provider, targets []Target) {
 }
 
 // MeasureCoverage queries every address once.
-func MeasureCoverage(db geodb.Provider, addrs []ipx.Addr) Coverage {
+func MeasureCoverage(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) Coverage {
+	_, sp := obs.Start(ctx, "core.coverage")
+	defer sp.End()
+	sp.SetAttr("db", db.Name())
+	sp.SetItems(int64(len(addrs)))
+	prog := obs.NewProgress("core.coverage "+db.Name(), int64(len(addrs)))
+	defer prog.Finish()
 	prefetch(db, addrs)
 	c := Coverage{Total: len(addrs)}
 	for _, a := range addrs {
 		rec, ok := db.Lookup(a)
+		prog.Add(1)
 		if !ok {
 			continue
 		}
@@ -143,7 +153,11 @@ func (a Accuracy) CityCoverage() float64 { return stats.Fraction(a.CityAnswered,
 func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a.CityAnswered) }
 
 // MeasureAccuracy scores db on every target.
-func MeasureAccuracy(db geodb.Provider, targets []Target) Accuracy {
+func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) Accuracy {
+	_, sp := obs.Start(ctx, "core.accuracy")
+	defer sp.End()
+	sp.SetAttr("db", db.Name())
+	sp.SetItems(int64(len(targets)))
 	prefetchTargets(db, targets)
 	acc := Accuracy{Total: len(targets), ErrorCDF: &stats.ECDF{}}
 	for _, t := range targets {
@@ -170,40 +184,40 @@ func MeasureAccuracy(db geodb.Provider, targets []Target) Accuracy {
 }
 
 // AccuracyByRIR breaks targets down by registry (Figures 3 and 5).
-func AccuracyByRIR(db geodb.Provider, targets []Target) map[geo.RIR]Accuracy {
+func AccuracyByRIR(ctx context.Context, db geodb.Provider, targets []Target) map[geo.RIR]Accuracy {
 	grouped := map[geo.RIR][]Target{}
 	for _, t := range targets {
 		grouped[t.RIR] = append(grouped[t.RIR], t)
 	}
 	out := make(map[geo.RIR]Accuracy, len(grouped))
 	for rir, ts := range grouped {
-		out[rir] = MeasureAccuracy(db, ts)
+		out[rir] = MeasureAccuracy(ctx, db, ts)
 	}
 	return out
 }
 
 // AccuracyByCountry breaks targets down by true country (Figure 4).
-func AccuracyByCountry(db geodb.Provider, targets []Target) map[string]Accuracy {
+func AccuracyByCountry(ctx context.Context, db geodb.Provider, targets []Target) map[string]Accuracy {
 	grouped := map[string][]Target{}
 	for _, t := range targets {
 		grouped[t.Country] = append(grouped[t.Country], t)
 	}
 	out := make(map[string]Accuracy, len(grouped))
 	for cc, ts := range grouped {
-		out[cc] = MeasureAccuracy(db, ts)
+		out[cc] = MeasureAccuracy(ctx, db, ts)
 	}
 	return out
 }
 
 // AccuracyByMethod splits targets by ground-truth method (§5.2.4).
-func AccuracyByMethod(db geodb.Provider, targets []Target) map[groundtruth.Method]Accuracy {
+func AccuracyByMethod(ctx context.Context, db geodb.Provider, targets []Target) map[groundtruth.Method]Accuracy {
 	grouped := map[groundtruth.Method][]Target{}
 	for _, t := range targets {
 		grouped[t.Method] = append(grouped[t.Method], t)
 	}
 	out := make(map[groundtruth.Method]Accuracy, len(grouped))
 	for m, ts := range grouped {
-		out[m] = MeasureAccuracy(db, ts)
+		out[m] = MeasureAccuracy(ctx, db, ts)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestMeasureCoverage(t *testing.T) {
 		ipx.MustParseAddr("10.0.1.5"), // country only
 		ipx.MustParseAddr("10.0.2.5"), // miss
 	}
-	c := MeasureCoverage(db, addrs)
+	c := MeasureCoverage(context.Background(), db, addrs)
 	if c.Total != 3 || c.Country != 2 || c.City != 1 {
 		t.Errorf("coverage = %+v", c)
 	}
@@ -76,7 +77,7 @@ func TestMeasureAccuracy(t *testing.T) {
 		{Addr: ipx.MustParseAddr("10.0.1.1"), Truth: paris, Country: "FR"},  // country-only, right
 		{Addr: ipx.MustParseAddr("10.0.9.1"), Truth: paris, Country: "FR"},  // miss
 	}
-	a := MeasureAccuracy(db, targets)
+	a := MeasureAccuracy(context.Background(), db, targets)
 	if a.Total != 4 || a.CountryAnswered != 3 || a.CountryCorrect != 3 {
 		t.Errorf("country stats = %+v", a)
 	}
@@ -100,18 +101,18 @@ func TestAccuracyBreakdowns(t *testing.T) {
 		{Addr: ipx.MustParseAddr("10.0.0.2"), Truth: paris, Country: "FR", RIR: geo.RIPENCC, Method: groundtruth.RTT},
 		{Addr: ipx.MustParseAddr("10.0.0.3"), Truth: miami, Country: "US", RIR: geo.ARIN, Method: groundtruth.RTT},
 	}
-	byRIR := AccuracyByRIR(db, targets)
+	byRIR := AccuracyByRIR(context.Background(), db, targets)
 	if byRIR[geo.ARIN].Total != 2 || byRIR[geo.RIPENCC].Total != 1 {
 		t.Errorf("byRIR = %+v", byRIR)
 	}
 	if byRIR[geo.RIPENCC].CountryCorrect != 0 {
 		t.Error("FR target should be wrong in a US-only database")
 	}
-	byCC := AccuracyByCountry(db, targets)
+	byCC := AccuracyByCountry(context.Background(), db, targets)
 	if byCC["US"].Total != 2 || byCC["FR"].Total != 1 {
 		t.Errorf("byCountry = %+v", byCC)
 	}
-	byM := AccuracyByMethod(db, targets)
+	byM := AccuracyByMethod(context.Background(), db, targets)
 	if byM[groundtruth.DNS].Total != 1 || byM[groundtruth.RTT].Total != 2 {
 		t.Errorf("byMethod = %+v", byM)
 	}
@@ -147,11 +148,11 @@ func TestCountryAgreement(t *testing.T) {
 		ipx.MustParseAddr("10.0.1.1"),
 		ipx.MustParseAddr("10.0.2.1"), // miss in both
 	}
-	agree, both := CountryAgreement(a, bdb, addrs)
+	agree, both := CountryAgreement(context.Background(), a, bdb, addrs)
 	if agree != 1 || both != 2 {
 		t.Errorf("agreement = %d/%d", agree, both)
 	}
-	all, total := CountryAgreementAll([]geodb.Provider{a, bdb}, addrs)
+	all, total := CountryAgreementAll(context.Background(), []geodb.Provider{a, bdb}, addrs)
 	if all != 1 || total != 3 {
 		t.Errorf("all-agreement = %d/%d", all, total)
 	}
@@ -167,7 +168,7 @@ func TestMeasurePairwiseCity(t *testing.T) {
 		b.AddPrefix(0, ipx.MustParsePrefix("10.0.1.0/24"), cityRec("FR", "Paris", paris))   // far
 	})
 	addrs := []ipx.Addr{ipx.MustParseAddr("10.0.0.1"), ipx.MustParseAddr("10.0.1.1")}
-	p := MeasurePairwiseCity(a, bdb, addrs)
+	p := MeasurePairwiseCity(context.Background(), a, bdb, addrs)
 	if p.Both != 2 || p.Identical != 1 || p.Over40Km != 1 {
 		t.Errorf("pairwise = %+v", p)
 	}
@@ -178,7 +179,7 @@ func TestMeasurePairwiseCity(t *testing.T) {
 		t.Errorf("CDF holds %d samples; identical pairs must be excluded", p.CDF.N())
 	}
 
-	filtered := CityAnsweredInAll([]geodb.Provider{a, bdb}, append(addrs, ipx.MustParseAddr("10.0.2.1")))
+	filtered := CityAnsweredInAll(context.Background(), []geodb.Provider{a, bdb}, append(addrs, ipx.MustParseAddr("10.0.2.1")))
 	if len(filtered) != 2 {
 		t.Errorf("CityAnsweredInAll = %v", filtered)
 	}

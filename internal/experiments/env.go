@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"routergeo/internal/hints"
 	"routergeo/internal/ipx"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/rdns"
 	"routergeo/internal/vendors"
 )
@@ -104,20 +106,33 @@ func (e *Env) Providers() []geodb.Provider {
 }
 
 // NewEnv builds the environment. With the default configuration this
-// takes a few seconds on one core; everything downstream is cheap.
-func NewEnv(cfg Config) (*Env, error) {
+// takes a few seconds on one core; everything downstream is cheap. The
+// context carries the run's trace span (if any); every build stage
+// attaches its own child span under "env.build".
+func NewEnv(ctx context.Context, cfg Config) (*Env, error) {
+	ctx, envSpan := obs.Start(ctx, "env.build")
+	defer envSpan.End()
+
+	_, wSpan := obs.Start(ctx, "netsim.build")
 	w, err := netsim.Build(cfg.World)
 	if err != nil {
+		wSpan.End()
 		return nil, fmt.Errorf("experiments: build world: %w", err)
 	}
+	wSpan.SetItems(int64(len(w.Interfaces)))
+	wSpan.End()
 	e := &Env{Cfg: cfg, W: w}
 
+	_, zSpan := obs.Start(ctx, "rdns.synthesize")
 	e.Dict = hints.NewDictionary(w.Gaz)
 	e.Dec = hints.NewDecoder(e.Dict)
 	e.Zone = rdns.Synthesize(w, e.Dict, cfg.RDNS)
+	zSpan.End()
 
 	// The three measurement campaigns are independent of one another (each
 	// owns its RNG), so they run concurrently; their consumers join below.
+	// Their spans all attach under env.build — children append under the
+	// parent's lock, so concurrent Starts are safe.
 	var (
 		wg     sync.WaitGroup
 		fleet2 *atlas.Fleet
@@ -126,21 +141,27 @@ func NewEnv(cfg Config) (*Env, error) {
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		e.Coll = ark.Collect(w, cfg.Ark)
+		e.Coll = ark.Collect(ctx, w, cfg.Ark)
 	}()
 	go func() {
 		defer wg.Done()
+		_, sp := obs.Start(ctx, "atlas.deploy")
+		defer sp.End()
 		e.Fleet = atlas.Deploy(w, cfg.Atlas)
 		e.Measurements = e.Fleet.RunBuiltins(cfg.Atlas.Seed + 1)
+		sp.SetItems(int64(len(e.Measurements)))
 	}()
 	go func() {
 		defer wg.Done()
 		// The Giotsas-style comparison fleet: larger, later, 1 ms rule.
+		_, sp := obs.Start(ctx, "atlas.deploy_1ms")
+		defer sp.End()
 		fleet2Cfg := cfg.Atlas
 		fleet2Cfg.Probes = cfg.OneMsProbes
 		fleet2Cfg.Seed = cfg.Atlas.Seed + 1000
 		fleet2 = atlas.Deploy(w, fleet2Cfg)
 		ms2 = fleet2.RunBuiltins(fleet2Cfg.Seed + 1)
+		sp.SetItems(int64(len(ms2)))
 	}()
 	wg.Wait()
 
@@ -148,20 +169,31 @@ func NewEnv(cfg Config) (*Env, error) {
 		e.ArkAddrs = append(e.ArkAddrs, w.Interfaces[id].Addr)
 	}
 
-	e.DNS, e.DNSStats = groundtruth.BuildDNS(w, e.Coll, e.Zone, e.Dec)
-	e.RTTDS, e.RTTStats = groundtruth.BuildRTT(w, e.Fleet, e.Measurements, cfg.RTT)
+	e.DNS, e.DNSStats = groundtruth.BuildDNS(ctx, w, e.Coll, e.Zone, e.Dec)
+	e.RTTDS, e.RTTStats = groundtruth.BuildRTT(ctx, w, e.Fleet, e.Measurements, cfg.RTT)
+
+	_, mSpan := obs.Start(ctx, "groundtruth.merge")
 	e.GT = groundtruth.Merge(e.DNS, e.RTTDS)
 	e.Targets = core.TargetsFromDataset(w, e.GT)
+	mSpan.SetItems(int64(len(e.Targets)))
+	mSpan.End()
 
+	_, evoSpan := obs.Start(ctx, "netsim.evolve")
 	e.Evo = w.Evolve(rand.New(rand.NewSource(cfg.EvolutionSeed)), netsim.DefaultEvolutionParams())
+	evoSpan.End()
 
+	oneMsCtx, oneMsSpan := obs.Start(ctx, "groundtruth.1ms")
 	oneMsCfg := groundtruth.RTTConfig{ThresholdMs: 1.0, CentroidKm: cfg.RTT.CentroidKm, NearbyMaxKm: 200}
-	oneMsBase, _ := groundtruth.BuildRTT(w, fleet2, ms2, oneMsCfg)
+	oneMsBase, _ := groundtruth.BuildRTT(oneMsCtx, w, fleet2, ms2, oneMsCfg)
 	e.OneMs = groundtruth.Build1ms(w, oneMsBase, e.Evo, 10, 0.7, cfg.EvolutionSeed+1)
+	oneMsSpan.SetItems(int64(e.OneMs.Len()))
+	oneMsSpan.End()
 
 	// The four vendor pipelines are read-only over the shared inputs and
 	// deterministic per vendor; build them concurrently, keeping the
 	// presentation order stable.
+	vCtx, vSpan := obs.Start(ctx, "vendors.build")
+	defer vSpan.End()
 	in := vendors.Inputs{
 		World:   w,
 		Feed:    vendors.BuildFeed(w, vendors.DefaultFeedConfig()),
@@ -175,7 +207,12 @@ func NewEnv(cfg Config) (*Env, error) {
 	for i, p := range params {
 		go func(i int, p vendors.Params) {
 			defer wg.Done()
+			_, sp := obs.Start(vCtx, "vendors.build."+p.Name)
+			defer sp.End()
 			dbs[i], errs[i] = vendors.Build(in, p)
+			if dbs[i] != nil {
+				sp.SetItems(int64(dbs[i].Len()))
+			}
 		}(i, p)
 	}
 	wg.Wait()

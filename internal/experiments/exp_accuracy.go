@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,12 +39,12 @@ func init() {
 	})
 }
 
-func runSec521(w io.Writer, env *Env) error {
+func runSec521(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "Ground truth: %d addresses\n\n", len(env.Targets))
 	fmt.Fprintf(w, "%-18s %16s %16s %18s %15s\n",
 		"Database", "country coverage", "city coverage", "country accuracy", "city accuracy")
 	for _, db := range env.DBs {
-		a := core.MeasureAccuracy(db, env.Targets)
+		a := core.MeasureAccuracy(ctx, db, env.Targets)
 		fmt.Fprintf(w, "%-18s %16s %16s %18s %15s\n", db.Name(),
 			stats.Pct(a.CountryCoverage()), stats.Pct(a.CityCoverage()),
 			stats.Pct(a.CountryAccuracy()), stats.Pct(a.CityAccuracy()))
@@ -52,10 +53,10 @@ func runSec521(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runFig2(w io.Writer, env *Env) error {
+func runFig2(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "Geolocation error vs ground truth for addresses with city answers (40 km city range):\n")
 	for _, db := range env.DBs {
-		a := core.MeasureAccuracy(db, env.Targets)
+		a := core.MeasureAccuracy(ctx, db, env.Targets)
 		fmt.Fprintf(w, "%-18s (n=%5d): %s\n", db.Name(), a.CityAnswered, a.ErrorCDF.Render(cdfPoints))
 	}
 	fmt.Fprintf(w, "\nPaper's shape: NetAcuity best, IP2Location-Lite worst but with full coverage;\n")
@@ -63,14 +64,14 @@ func runFig2(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runFig3(w io.Writer, env *Env) error {
+func runFig3(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "%-18s", "Database")
 	for _, r := range geo.RIRs {
 		fmt.Fprintf(w, " %14s", r.String())
 	}
 	fmt.Fprintln(w)
 	for _, db := range env.DBs {
-		byRIR := core.AccuracyByRIR(db, env.Targets)
+		byRIR := core.AccuracyByRIR(ctx, db, env.Targets)
 		fmt.Fprintf(w, "%-18s", db.Name())
 		for _, r := range geo.RIRs {
 			a := byRIR[r]
@@ -86,11 +87,11 @@ func runFig3(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runFig4(w io.Writer, env *Env) error {
+func runFig4(ctx context.Context, w io.Writer, env *Env) error {
 	top := core.TopCountries(env.Targets, 20)
 	perDB := map[string]map[string]core.Accuracy{}
 	for _, db := range env.DBs {
-		perDB[db.Name()] = core.AccuracyByCountry(db, env.Targets)
+		perDB[db.Name()] = core.AccuracyByCountry(ctx, db, env.Targets)
 	}
 	counts := map[string]int{}
 	for _, t := range env.Targets {
@@ -127,13 +128,13 @@ func runFig4(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runFig5(w io.Writer, env *Env) error {
+func runFig5(ctx context.Context, w io.Writer, env *Env) error {
 	for _, name := range []string{"MaxMind-Paid", "NetAcuity"} {
 		db := env.DB(name)
-		overall := core.MeasureAccuracy(db, env.Targets)
+		overall := core.MeasureAccuracy(ctx, db, env.Targets)
 		fmt.Fprintf(w, "%s — city answers for %s of ground truth (paper: 41.29%% / 99.6%%):\n",
 			name, stats.Pct(overall.CityCoverage()))
-		byRIR := core.AccuracyByRIR(db, env.Targets)
+		byRIR := core.AccuracyByRIR(ctx, db, env.Targets)
 		for _, r := range geo.RIRs {
 			a := byRIR[r]
 			if a.CityAnswered == 0 {

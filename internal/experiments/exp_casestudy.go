@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ func init() {
 	})
 }
 
-func runSec523(w io.Writer, env *Env) error {
+func runSec523(ctx context.Context, w io.Writer, env *Env) error {
 	s := core.RunARINCaseStudy(env.DB("MaxMind-Paid"), env.Targets)
 	fmt.Fprintf(w, "ARIN holds %d ground-truth addresses (%s of the set) [paper: 10,608 = 64%%]\n",
 		s.ARINTargets, stats.Pct(s.ARINShare))
@@ -47,13 +48,13 @@ func runSec523(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runSec524(w io.Writer, env *Env) error {
+func runSec524(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "City-level accuracy and coverage per ground-truth method (40 km range):\n\n")
 	fmt.Fprintf(w, "%-18s %22s %22s\n", "Database", "DNS-based acc (cov)", "RTT-proximity acc (cov)")
 	type row struct{ dnsAcc, rttAcc float64 }
 	rows := map[string]row{}
 	for _, db := range env.DBs {
-		byM := core.AccuracyByMethod(db, env.Targets)
+		byM := core.AccuracyByMethod(ctx, db, env.Targets)
 		dns, rtt := byM[groundtruth.DNS], byM[groundtruth.RTT]
 		rows[db.Name()] = row{dns.CityAccuracy(), rtt.CityAccuracy()}
 		fmt.Fprintf(w, "%-18s %12s (%6s) %14s (%6s)\n", db.Name(),
@@ -84,8 +85,8 @@ func runSec524(w io.Writer, env *Env) error {
 			rttT = append(rttT, t)
 		}
 	}
-	byRIRDNS := core.AccuracyByRIR(neta, dnsT)
-	byRIRRTT := core.AccuracyByRIR(neta, rttT)
+	byRIRDNS := core.AccuracyByRIR(ctx, neta, dnsT)
+	byRIRRTT := core.AccuracyByRIR(ctx, neta, rttT)
 	fmt.Fprintf(w, "\nNetAcuity city accuracy by RIR and method:\n")
 	for _, r := range geo.RIRs {
 		fmt.Fprintf(w, "  %-8s DNS %s (n=%d)   RTT %s (n=%d)\n", r.String(),
@@ -95,12 +96,12 @@ func runSec524(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runRecommendations(w io.Writer, env *Env) error {
+func runRecommendations(ctx context.Context, w io.Writer, env *Env) error {
 	results := map[string]core.Accuracy{}
 	perRIR := map[string]map[geo.RIR]core.Accuracy{}
 	for _, db := range env.DBs {
-		results[db.Name()] = core.MeasureAccuracy(db, env.Targets)
-		perRIR[db.Name()] = core.AccuracyByRIR(db, env.Targets)
+		results[db.Name()] = core.MeasureAccuracy(ctx, db, env.Targets)
+		perRIR[db.Name()] = core.AccuracyByRIR(ctx, db, env.Targets)
 	}
 	recs := core.Recommend(results, perRIR)
 	for _, r := range recs {

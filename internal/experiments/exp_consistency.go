@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ func init() {
 	})
 }
 
-func runSec4(w io.Writer, env *Env) error {
+func runSec4(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "Database city coordinates vs gazetteer (paper: within 40 km >99%% of the time):\n")
 	for _, db := range env.DBs {
 		chk := core.ValidateCityCoords(db, env.W.Gaz)
@@ -46,11 +47,11 @@ func runSec4(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runSec51(w io.Writer, env *Env) error {
+func runSec51(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "Ark-topo-router dataset: %d interface addresses (paper: 1,638K)\n\n", len(env.ArkAddrs))
 	fmt.Fprintf(w, "Coverage (paper: IP2Loc/NetAcuity ≈100%%/≈100%%; MaxMind-GeoLite 99.3%%/43%%; MaxMind-Paid 99.3%%/61.6%%):\n")
 	for _, db := range env.DBs {
-		c := core.MeasureCoverage(db, env.ArkAddrs)
+		c := core.MeasureCoverage(ctx, db, env.ArkAddrs)
 		fmt.Fprintf(w, "  %-18s country %s  city %s\n", db.Name(),
 			stats.Pct(c.CountryPct()), stats.Pct(c.CityPct()))
 	}
@@ -58,20 +59,20 @@ func runSec51(w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "\nPairwise country-level agreement (paper: MaxMind pair 99.6%%, others 97.0–97.6%%):\n")
 	for i := 0; i < len(env.DBs); i++ {
 		for j := i + 1; j < len(env.DBs); j++ {
-			agree, both := core.CountryAgreement(env.DBs[i], env.DBs[j], env.ArkAddrs)
+			agree, both := core.CountryAgreement(ctx, env.DBs[i], env.DBs[j], env.ArkAddrs)
 			fmt.Fprintf(w, "  %-18s vs %-18s: %s of %d\n",
 				env.DBs[i].Name(), env.DBs[j].Name(),
 				stats.Pct(stats.Fraction(agree, both)), both)
 		}
 	}
-	all, total := core.CountryAgreementAll(env.Providers(), env.ArkAddrs)
+	all, total := core.CountryAgreementAll(ctx, env.Providers(), env.ArkAddrs)
 	fmt.Fprintf(w, "All four databases agree: %s of %d addresses (paper: 95.8%%)\n",
 		stats.Pct(stats.Fraction(all, total)), total)
 	return nil
 }
 
-func runFig1(w io.Writer, env *Env) error {
-	subset := core.CityAnsweredInAll(env.Providers(), env.ArkAddrs)
+func runFig1(ctx context.Context, w io.Writer, env *Env) error {
+	subset := core.CityAnsweredInAll(ctx, env.Providers(), env.ArkAddrs)
 	fmt.Fprintf(w, "Addresses with city answers in all four databases: %d (paper: ~692K of 1.64M)\n\n", len(subset))
 
 	pairs := [][2]string{
@@ -81,7 +82,7 @@ func runFig1(w io.Writer, env *Env) error {
 		{"IP2Location-Lite", "MaxMind-Paid"},
 	}
 	for _, pair := range pairs {
-		p := core.MeasurePairwiseCity(env.DB(pair[0]), env.DB(pair[1]), subset)
+		p := core.MeasurePairwiseCity(ctx, env.DB(pair[0]), env.DB(pair[1]), subset)
 		fmt.Fprintf(w, "%s vs %s (n=%d):\n", pair[0], pair[1], p.Both)
 		fmt.Fprintf(w, "  identical coordinates: %d (%s)   >40 km apart: %d (%s)\n",
 			p.Identical, stats.Pct(stats.Fraction(p.Identical, p.Both)),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,7 +25,7 @@ func init() {
 // training pairs are the RTT-proximity dataset's hostnames and
 // probe-derived locations — and compare the learned rule set and the
 // ground truth it produces against the operator-confirmed pipeline.
-func runExtDrop(w io.Writer, env *Env) error {
+func runExtDrop(ctx context.Context, w io.Writer, env *Env) error {
 	// Training data: RTT-proximity entries that have hostnames. The
 	// locations come from probes, not from the world's truth.
 	var examples []hints.Example
@@ -64,7 +65,7 @@ func runExtDrop(w io.Writer, env *Env) error {
 	// Rebuild the DNS ground truth with the learned decoder and compare
 	// with the operator-confirmed one.
 	dec := hints.DecoderWithLearned(env.Dict, learned)
-	learnedDNS, _ := groundtruth.BuildDNS(env.W, env.Coll, env.Zone, dec)
+	learnedDNS, _ := groundtruth.BuildDNS(ctx, env.W, env.Coll, env.Zone, dec)
 	ov := groundtruth.CompareOverlap(env.DNS, learnedDNS)
 	fmt.Fprintf(w, "DNS ground truth rebuilt with learned rules: %d addresses (confirmed rules: %d)\n",
 		learnedDNS.Len(), env.DNS.Len())

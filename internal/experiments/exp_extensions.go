@@ -8,6 +8,7 @@ package experiments
 // work §7).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -48,7 +49,7 @@ func init() {
 // measurements, multilaterates each ground-truth address seen by at least
 // three probes, and compares the error CDF with the four databases on the
 // same address subset.
-func runExtCBG(w io.Writer, env *Env) error {
+func runExtCBG(ctx context.Context, w io.Writer, env *Env) error {
 	probeCoord := map[int]geo.Coordinate{}
 	for i := range env.Fleet.Probes {
 		p := &env.Fleet.Probes[i]
@@ -120,7 +121,7 @@ func runExtCBG(w io.Writer, env *Env) error {
 // runExtBlocks quantifies /24 co-locality: how many routed blocks span
 // multiple cities, how far apart, and how much worse block-level records
 // do on spanning blocks.
-func runExtBlocks(w io.Writer, env *Env) error {
+func runExtBlocks(ctx context.Context, w io.Writer, env *Env) error {
 	world := env.W
 	spread := &stats.ECDF{}
 	single, multi := 0, 0
@@ -181,18 +182,18 @@ func runExtBlocks(w io.Writer, env *Env) error {
 // and with the §3.2 filters disabled, measuring yield and purity against
 // the world's exact truth — the sensitivity analysis the paper's fixed
 // choices imply.
-func runExtAblation(w io.Writer, env *Env) error {
+func runExtAblation(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "%-34s %8s %10s %10s\n", "configuration", "yield", "purity", "(bound km)")
 	for _, th := range []float64{0.25, 0.5, 1.0, 2.0} {
 		cfg := groundtruth.RTTConfig{ThresholdMs: th, CentroidKm: 5, NearbyMaxKm: 2 * th * 200}
-		ds, _ := groundtruth.BuildRTT(env.W, env.Fleet, env.Measurements, cfg)
+		ds, _ := groundtruth.BuildRTT(ctx, env.W, env.Fleet, env.Measurements, cfg)
 		fmt.Fprintf(w, "%-34s %8d %10s %10.0f\n",
 			fmt.Sprintf("threshold %.2f ms, filters on", th),
 			ds.Len(), stats.Pct(purity(env, ds, cfg.MaxProximityKm()+5)), cfg.MaxProximityKm())
 	}
 	// Filters off: disable both by making them vacuous.
 	off := groundtruth.RTTConfig{ThresholdMs: 0.5, CentroidKm: 0, NearbyMaxKm: 1e9}
-	ds, _ := groundtruth.BuildRTT(env.W, env.Fleet, env.Measurements, off)
+	ds, _ := groundtruth.BuildRTT(ctx, env.W, env.Fleet, env.Measurements, off)
 	fmt.Fprintf(w, "%-34s %8d %10s %10.0f\n", "threshold 0.50 ms, filters OFF",
 		ds.Len(), stats.Pct(purity(env, ds, 55)), 50.0)
 	fmt.Fprintf(w, "\nyield = dataset size; purity = fraction of entries within the proximity bound of exact truth.\n")
@@ -217,7 +218,7 @@ func purity(env *Env, ds *groundtruth.Dataset, boundKm float64) float64 {
 // a majority vote across databases — and contrasts the resulting ranking
 // with the real ground truth, demonstrating the paper's warning that
 // agreement does not imply correctness (§5.1, §8).
-func runExtMajority(w io.Writer, env *Env) error {
+func runExtMajority(ctx context.Context, w io.Writer, env *Env) error {
 	type vote struct {
 		name string
 		rec  geodb.Record

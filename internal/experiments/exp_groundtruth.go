@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,7 +29,7 @@ func init() {
 	})
 }
 
-func runTable1(w io.Writer, env *Env) error {
+func runTable1(ctx context.Context, w io.Writer, env *Env) error {
 	fmt.Fprintf(w, "%-14s %7s %10s %8s %6s %6s %8s %7s %8s\n",
 		"GroundTruth", "Total", "Countries", "lat/lon",
 		"ARIN", "APNIC", "AFRINIC", "LACNIC", "RIPENCC")
@@ -64,7 +65,7 @@ func runTable1(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runSec31(w io.Writer, env *Env) error {
+func runSec31(ctx context.Context, w io.Writer, env *Env) error {
 	// DNS vs RTT overlap (paper: 109 common; 105 within 10 km, rest ≤43 km).
 	ov := groundtruth.CompareOverlap(env.DNS, env.RTTDS)
 	fmt.Fprintf(w, "DNS ∩ RTT-proximity: %d common addresses; within 10 km %d (%s), within 40 km %d (%s), max %.1f km\n",
@@ -103,7 +104,7 @@ func runSec31(w io.Writer, env *Env) error {
 	return nil
 }
 
-func runSec32(w io.Writer, env *Env) error {
+func runSec32(ctx context.Context, w io.Writer, env *Env) error {
 	s := env.RTTStats
 	fmt.Fprintf(w, "RTT-proximity construction funnel (0.5 ms threshold ⇒ %0.f km bound):\n",
 		env.Cfg.RTT.MaxProximityKm())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,7 +30,7 @@ func init() {
 //     city answers in ARIN (§5.2.3);
 //   - IP2Location with NetAcuity's correction pipeline must close most of
 //     its accuracy gap, showing the gap is pipeline, not format.
-func runExtVendors(w io.Writer, env *Env) error {
+func runExtVendors(ctx context.Context, w io.Writer, env *Env) error {
 	in := vendors.Inputs{
 		World:   env.W,
 		Feed:    vendors.BuildFeed(env.W, vendors.DefaultFeedConfig()),
@@ -45,8 +46,8 @@ func runExtVendors(w io.Writer, env *Env) error {
 		return err
 	}
 
-	byMethod := core.AccuracyByMethod(env.DB("NetAcuity"), env.Targets)
-	byMethodAbl := core.AccuracyByMethod(dbNoHints, env.Targets)
+	byMethod := core.AccuracyByMethod(ctx, env.DB("NetAcuity"), env.Targets)
+	byMethodAbl := core.AccuracyByMethod(ctx, dbNoHints, env.Targets)
 	fmt.Fprintf(w, "NetAcuity hint-pipeline ablation (§5.2.4 causality):\n")
 	fmt.Fprintf(w, "  %-22s DNS-based %s   RTT-proximity %s\n", "with hints",
 		stats.Pct(byMethod[groundtruth.DNS].CityAccuracy()),
@@ -89,9 +90,9 @@ func runExtVendors(w io.Writer, env *Env) error {
 	if err != nil {
 		return err
 	}
-	accBase := core.MeasureAccuracy(env.DB("IP2Location-Lite"), env.Targets)
-	accUp := core.MeasureAccuracy(dbUpgraded, env.Targets)
-	accNA := core.MeasureAccuracy(env.DB("NetAcuity"), env.Targets)
+	accBase := core.MeasureAccuracy(ctx, env.DB("IP2Location-Lite"), env.Targets)
+	accUp := core.MeasureAccuracy(ctx, dbUpgraded, env.Targets)
+	accNA := core.MeasureAccuracy(ctx, env.DB("NetAcuity"), env.Targets)
 	fmt.Fprintf(w, "IP2Location correction-pipeline upgrade:\n")
 	fmt.Fprintf(w, "  %-22s city accuracy %s\n", "as shipped", stats.Pct(accBase.CityAccuracy()))
 	fmt.Fprintf(w, "  %-22s city accuracy %s\n", "NetAcuity-grade fixes", stats.Pct(accUp.CityAccuracy()))
@@ -100,8 +101,8 @@ func runExtVendors(w io.Writer, env *Env) error {
 
 	// Regional sanity: the ablations must not change LACNIC, where no
 	// mechanism under test operates (Figure 3's 0% row).
-	withRIR := core.AccuracyByRIR(env.DB("MaxMind-Paid"), env.Targets)[geo.LACNIC]
-	withoutRIR := core.AccuracyByRIR(dbNoSWIP, env.Targets)[geo.LACNIC]
+	withRIR := core.AccuracyByRIR(ctx, env.DB("MaxMind-Paid"), env.Targets)[geo.LACNIC]
+	withoutRIR := core.AccuracyByRIR(ctx, dbNoSWIP, env.Targets)[geo.LACNIC]
 	fmt.Fprintf(w, "control: MaxMind-Paid LACNIC country accuracy %s with SWIP, %s without\n",
 		stats.Pct(withRIR.CountryAccuracy()), stats.Pct(withoutRIR.CountryAccuracy()))
 	return nil

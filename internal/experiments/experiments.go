@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"routergeo/internal/obs"
 )
 
 // Experiment is one reproducible artifact of the paper's evaluation.
@@ -12,8 +15,16 @@ type Experiment struct {
 	ID string
 	// Title names the paper artifact.
 	Title string
-	// Run prints the artifact's rows/series to w.
-	Run func(w io.Writer, env *Env) error
+	// Run prints the artifact's rows/series to w. The context carries the
+	// run's trace span, so core measurements nest under the experiment.
+	Run func(ctx context.Context, w io.Writer, env *Env) error
+}
+
+// RunOne executes a single experiment under its own "exp.<id>" span.
+func RunOne(ctx context.Context, e Experiment, w io.Writer, env *Env) error {
+	ctx, sp := obs.Start(ctx, "exp."+e.ID)
+	defer sp.End()
+	return e.Run(ctx, w, env)
 }
 
 // registry of experiments, populated by the exp_*.go files; extensions
@@ -67,10 +78,10 @@ func ByID(id string) (Experiment, bool) {
 
 // RunAll executes every experiment against env, writing each artifact
 // under a banner. It stops at the first failure.
-func RunAll(w io.Writer, env *Env) error {
+func RunAll(ctx context.Context, w io.Writer, env *Env) error {
 	for _, e := range All() {
 		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.ID, e.Title)
-		if err := e.Run(w, env); err != nil {
+		if err := RunOne(ctx, e, w, env); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -21,7 +22,7 @@ func testEnv(t *testing.T) *Env {
 	cfg.World.ASes = 250
 	cfg.Atlas.Probes = 600
 	cfg.OneMsProbes = 900
-	env, err := NewEnv(cfg)
+	env, err := NewEnv(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestExtensionsRun(t *testing.T) {
 	}
 	for _, e := range Extensions() {
 		var buf bytes.Buffer
-		if err := e.Run(&buf, env); err != nil {
+		if err := RunOne(context.Background(), e, &buf, env); err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
 		out := buf.String()
@@ -145,7 +146,7 @@ func TestExtensionsRun(t *testing.T) {
 func TestWritePlotData(t *testing.T) {
 	env := testEnv(t)
 	dir := t.TempDir()
-	if err := WritePlotData(dir, env); err != nil {
+	if err := WritePlotData(context.Background(), dir, env); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -215,7 +216,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	}
 	for _, e := range All() {
 		var buf bytes.Buffer
-		if err := e.Run(&buf, env); err != nil {
+		if err := RunOne(context.Background(), e, &buf, env); err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
 		out := buf.String()
@@ -233,7 +234,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 func TestRunAll(t *testing.T) {
 	env := testEnv(t)
 	var buf bytes.Buffer
-	if err := RunAll(&buf, env); err != nil {
+	if err := RunAll(context.Background(), &buf, env); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -334,7 +335,7 @@ func TestStabilityReport(t *testing.T) {
 	cfg.Atlas.Probes = 400
 	cfg.OneMsProbes = 500
 	var buf bytes.Buffer
-	if err := StabilityReport(&buf, cfg, []int64{11, 12}); err != nil {
+	if err := StabilityReport(context.Background(), &buf, cfg, []int64{11, 12}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

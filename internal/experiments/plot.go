@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"routergeo/internal/core"
 	"routergeo/internal/geo"
+	"routergeo/internal/obs"
 )
 
 // WritePlotData exports the raw series behind every figure as
@@ -20,13 +22,16 @@ import (
 //	fig3.tsv                 rir  db  correct  incorrect
 //	fig4.tsv                 cc   n   acc per database
 //	fig5_<db>_<rir>.tsv      error_km     cdf
-func WritePlotData(dir string, env *Env) error {
+func WritePlotData(ctx context.Context, dir string, env *Env) error {
+	ctx, sp := obs.Start(ctx, "plot.write")
+	defer sp.End()
+	sp.SetAttr("dir", dir)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 
 	// Figure 1.
-	subset := core.CityAnsweredInAll(env.Providers(), env.ArkAddrs)
+	subset := core.CityAnsweredInAll(ctx, env.Providers(), env.ArkAddrs)
 	pairs := [][2]string{
 		{"MaxMind-GeoLite", "MaxMind-Paid"},
 		{"IP2Location-Lite", "NetAcuity"},
@@ -34,7 +39,7 @@ func WritePlotData(dir string, env *Env) error {
 		{"IP2Location-Lite", "MaxMind-Paid"},
 	}
 	for _, pair := range pairs {
-		p := core.MeasurePairwiseCity(env.DB(pair[0]), env.DB(pair[1]), subset)
+		p := core.MeasurePairwiseCity(ctx, env.DB(pair[0]), env.DB(pair[1]), subset)
 		name := fmt.Sprintf("fig1_%s_vs_%s.tsv", slug(pair[0]), slug(pair[1]))
 		header := fmt.Sprintf("# pairwise distance CDF; n=%d compared, %d identical pairs excluded",
 			p.Both, p.Identical)
@@ -45,7 +50,7 @@ func WritePlotData(dir string, env *Env) error {
 
 	// Figure 2.
 	for _, db := range env.DBs {
-		a := core.MeasureAccuracy(db, env.Targets)
+		a := core.MeasureAccuracy(ctx, db, env.Targets)
 		name := fmt.Sprintf("fig2_%s.tsv", slug(db.Name()))
 		header := fmt.Sprintf("# geolocation error CDF vs ground truth; n=%d city answers", a.CityAnswered)
 		if err := writeCDF(filepath.Join(dir, name), header, a.ErrorCDF.Points()); err != nil {
@@ -61,7 +66,7 @@ func WritePlotData(dir string, env *Env) error {
 	w3 := bufio.NewWriter(f3)
 	fmt.Fprintln(w3, "# country-level accuracy by RIR\nrir\tdb\tcorrect\tincorrect")
 	for _, db := range env.DBs {
-		byRIR := core.AccuracyByRIR(db, env.Targets)
+		byRIR := core.AccuracyByRIR(ctx, db, env.Targets)
 		for _, r := range geo.RIRs {
 			a := byRIR[r]
 			fmt.Fprintf(w3, "%s\t%s\t%d\t%d\n", r, db.Name(), a.CountryCorrect, a.CountryAnswered-a.CountryCorrect)
@@ -91,7 +96,7 @@ func WritePlotData(dir string, env *Env) error {
 	}
 	perDB := map[string]map[string]core.Accuracy{}
 	for _, db := range env.DBs {
-		perDB[db.Name()] = core.AccuracyByCountry(db, env.Targets)
+		perDB[db.Name()] = core.AccuracyByCountry(ctx, db, env.Targets)
 	}
 	for _, cc := range core.TopCountries(env.Targets, 20) {
 		fmt.Fprintf(w4, "%s\t%d", cc, counts[cc])
@@ -109,7 +114,7 @@ func WritePlotData(dir string, env *Env) error {
 
 	// Figure 5 (both panels, all regions).
 	for _, name := range []string{"MaxMind-Paid", "NetAcuity"} {
-		byRIR := core.AccuracyByRIR(env.DB(name), env.Targets)
+		byRIR := core.AccuracyByRIR(ctx, env.DB(name), env.Targets)
 		for _, r := range geo.RIRs {
 			a := byRIR[r]
 			if a.ErrorCDF == nil || a.ErrorCDF.N() == 0 {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"routergeo/internal/core"
 	"routergeo/internal/geo"
 	"routergeo/internal/groundtruth"
+	"routergeo/internal/obs"
 	"routergeo/internal/stats"
 )
 
@@ -14,7 +16,10 @@ import (
 // prints the headline metrics side by side — the evidence behind the
 // claim that the reproduction's findings are properties of the modelled
 // mechanisms, not of one lucky world. Each row is a full pipeline run.
-func StabilityReport(w io.Writer, base Config, seeds []int64) error {
+func StabilityReport(ctx context.Context, w io.Writer, base Config, seeds []int64) error {
+	ctx, sp := obs.Start(ctx, "stability.report")
+	defer sp.End()
+	sp.SetItems(int64(len(seeds)))
 	fmt.Fprintf(w, "%-6s %6s %8s %8s %9s %9s %9s %9s %8s %9s\n",
 		"seed", "GT", "NetA", "reg-fed", "NetA", "IP2L", "MM-P", "MM-P", "ARIN", "NetA-DNS")
 	fmt.Fprintf(w, "%-6s %6s %8s %8s %9s %9s %9s %9s %8s %9s\n",
@@ -22,22 +27,22 @@ func StabilityReport(w io.Writer, base Config, seeds []int64) error {
 	for _, seed := range seeds {
 		cfg := base
 		cfg.World.Seed = seed
-		env, err := NewEnv(cfg)
+		env, err := NewEnv(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 
-		neta := core.MeasureAccuracy(env.DB("NetAcuity"), env.Targets)
-		ip2 := core.MeasureAccuracy(env.DB("IP2Location-Lite"), env.Targets)
-		mmp := core.MeasureAccuracy(env.DB("MaxMind-Paid"), env.Targets)
-		mmg := core.MeasureAccuracy(env.DB("MaxMind-GeoLite"), env.Targets)
+		neta := core.MeasureAccuracy(ctx, env.DB("NetAcuity"), env.Targets)
+		ip2 := core.MeasureAccuracy(ctx, env.DB("IP2Location-Lite"), env.Targets)
+		mmp := core.MeasureAccuracy(ctx, env.DB("MaxMind-Paid"), env.Targets)
+		mmg := core.MeasureAccuracy(ctx, env.DB("MaxMind-GeoLite"), env.Targets)
 		regFed := (ip2.CountryAccuracy() + mmp.CountryAccuracy() + mmg.CountryAccuracy()) / 3
 
 		// ARIN city wrongness for MaxMind-Paid (the §5.2.3 signal).
-		arin := core.AccuracyByRIR(env.DB("MaxMind-Paid"), env.Targets)[geo.ARIN]
+		arin := core.AccuracyByRIR(ctx, env.DB("MaxMind-Paid"), env.Targets)[geo.ARIN]
 
 		// NetAcuity's DNS-over-RTT advantage (the §5.2.4 signal).
-		byM := core.AccuracyByMethod(env.DB("NetAcuity"), env.Targets)
+		byM := core.AccuracyByMethod(ctx, env.DB("NetAcuity"), env.Targets)
 		adv := byM[groundtruth.DNS].CityAccuracy() - byM[groundtruth.RTT].CityAccuracy()
 
 		fmt.Fprintf(w, "%-6d %6d %8s %8s %9s %9s %9s %9s %8s %+8.1f\n",

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sync"
@@ -88,6 +89,12 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.HTTPClient = h }
 }
 
+// WithClientLogger routes the client's retry warnings through l instead
+// of the process default logger.
+func WithClientLogger(l *slog.Logger) ClientOption {
+	return func(c *Client) { c.logger = l }
+}
+
 // Client talks to a server created by NewHandler. The zero value with
 // only BaseURL set is a valid v1 client; NewClient additionally arms
 // retries, backoff, timeouts and batch concurrency.
@@ -107,6 +114,9 @@ type Client struct {
 	maxBatch    int
 	// sleep is swapped out by tests to avoid real backoff waits.
 	sleep func(time.Duration)
+	// logger defaults to slog.Default at call time, so binaries that
+	// configure logging flags after building the client still apply.
+	logger *slog.Logger
 
 	transportErrs atomic.Int64
 	mu            sync.Mutex
@@ -165,6 +175,13 @@ func (c *Client) Err() error {
 // retries) over the client's lifetime.
 func (c *Client) TransportErrors() int64 { return c.transportErrs.Load() }
 
+func (c *Client) log() *slog.Logger {
+	if c.logger != nil {
+		return c.logger
+	}
+	return slog.Default()
+}
+
 func (c *Client) recordErr(err error) {
 	c.transportErrs.Add(1)
 	c.mu.Lock()
@@ -178,11 +195,20 @@ func retryable(status int) bool { return status >= 500 }
 
 // do issues one request with the client's retry/backoff/timeout policy
 // and decodes the JSON answer into out. body non-nil makes it a POST.
+// Each retry emits a warn-level log line; exhausting all attempts logs a
+// summary, so outage-tainted runs are visible without polling Err.
 func (c *Client) do(path string, body []byte, out interface{}) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			delay := c.backoff << (attempt - 1)
+			c.log().Warn("retrying request",
+				"path", path,
+				"attempt", attempt+1,
+				"max_attempts", c.retries+1,
+				"backoff", delay,
+				"error", lastErr,
+			)
 			if delay > 0 {
 				sleep := c.sleep
 				if sleep == nil {
@@ -203,6 +229,11 @@ func (c *Client) do(path string, body []byte, out interface{}) error {
 		}
 		lastErr = err
 	}
+	c.log().Error("request failed after all retries",
+		"path", path,
+		"attempts", c.retries+1,
+		"error", lastErr,
+	)
 	c.recordErr(lastErr)
 	return lastErr
 }

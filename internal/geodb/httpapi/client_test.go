@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -238,5 +241,58 @@ func TestBatchLookupEmpty(t *testing.T) {
 	entries, err := c.BatchLookup(nil)
 	if err != nil || entries != nil {
 		t.Fatalf("empty batch = (%v, %v)", entries, err)
+	}
+}
+
+func TestClientLogsRetries(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 2}
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	c := NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithRetries(3),
+		WithBackoff(0),
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithClientLogger(logger))
+	if _, ok, err := c.TryLookup(ipx.MustParseAddr("10.0.0.1")); err != nil || !ok {
+		t.Fatalf("TryLookup = (_, %v, %v), want recovery", ok, err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "retrying request"); got != 2 {
+		t.Errorf("got %d retry warnings, want 2: %q", got, out)
+	}
+	if !strings.Contains(out, "level=WARN") {
+		t.Errorf("retry lines not warn-level: %q", out)
+	}
+	if !strings.Contains(out, "attempt=2") || !strings.Contains(out, "max_attempts=4") {
+		t.Errorf("retry lines missing attempt counts: %q", out)
+	}
+	if strings.Contains(out, "request failed after all retries") {
+		t.Errorf("recovered request logged a give-up summary: %q", out)
+	}
+}
+
+func TestClientLogsGiveUp(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	dead := NewClient("http://127.0.0.1:1",
+		WithDatabase("alpha"),
+		WithRetries(1),
+		WithBackoff(0),
+		WithTimeout(time.Second),
+		WithClientLogger(logger))
+	if _, _, err := dead.TryLookup(ipx.MustParseAddr("10.0.0.1")); err == nil {
+		t.Fatal("TryLookup against a dead server should fail")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "request failed after all retries") {
+		t.Errorf("missing give-up summary: %q", out)
+	}
+	if !strings.Contains(out, "level=ERROR") {
+		t.Errorf("give-up summary not error-level: %q", out)
+	}
+	if !strings.Contains(out, "attempts=2") {
+		t.Errorf("give-up summary missing attempt count: %q", out)
 	}
 }

@@ -1,16 +1,12 @@
 package httpapi
 
 import (
-	"expvar"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
-)
 
-// latencyWindow is the number of recent request latencies retained for
-// quantile estimation.
-const latencyWindow = 2048
+	"routergeo/internal/obs"
+)
 
 // DBStats is one database's hit/miss tally in a StatsResponse.
 type DBStats struct {
@@ -18,7 +14,9 @@ type DBStats struct {
 	Misses int64 `json:"misses"`
 }
 
-// StatsResponse is the GET /v2/stats payload.
+// StatsResponse is the GET /v2/stats payload. The shape is frozen: it is
+// served unchanged from before the obs migration, only the backing
+// instruments moved from expvar to an obs.Registry.
 type StatsResponse struct {
 	// Requests counts every request through the middleware stack.
 	Requests int64 `json:"requests"`
@@ -26,7 +24,8 @@ type StatsResponse struct {
 	ByEndpoint map[string]int64 `json:"by_endpoint"`
 	// Errors counts responses with status >= 400.
 	Errors int64 `json:"errors"`
-	// LatencyMs holds p50/p90/p99 over the last latencyWindow requests.
+	// LatencyMs holds p50/p90/p99 estimated from the latency histogram
+	// (empty until the first request).
 	LatencyMs map[string]float64 `json:"latency_ms"`
 	// DBs tallies lookup hits and misses per database, across /v1 and
 	// /v2 alike.
@@ -35,24 +34,26 @@ type StatsResponse struct {
 	Draining bool `json:"draining"`
 }
 
-// dbTally is a pair of atomic counters. expvar.Int is an
-// atomically-updated int64 with a JSON String form, which is exactly
-// the counter the middleware needs; the instances stay unpublished so
-// multiple handlers never fight over global expvar names.
+// dbTally is one database's pair of registry counters, resolved once at
+// construction so the lookup hot path never touches the registry lock.
 type dbTally struct {
-	hits, misses expvar.Int
+	hits, misses *obs.Counter
 }
 
-// metrics is the per-handler counter set the stats middleware feeds.
+// metrics is the per-handler instrument set the stats middleware feeds.
+// Everything lives in a single obs.Registry (exposed via
+// Handler.Registry for the -debug-addr metrics endpoint); the struct
+// caches the hot instruments.
 type metrics struct {
-	requests expvar.Int
-	errors   expvar.Int
+	reg      *obs.Registry
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 
-	mu         sync.Mutex
-	byEndpoint map[string]int64
-	latencies  []time.Duration // ring buffer, latest latencyWindow samples
-	latIdx     int
-	latFull    bool
+	// byEndpoint counters are created on demand; the map caches them so
+	// the common case is one RLock-free map read under mu.
+	mu         sync.RWMutex
+	byEndpoint map[string]*obs.Counter
 
 	// byDB's key set is fixed at construction, so concurrent reads of the
 	// map itself are safe; the tallies are atomic.
@@ -60,15 +61,41 @@ type metrics struct {
 }
 
 func newMetrics(dbNames []string) *metrics {
+	reg := obs.NewRegistry()
 	m := &metrics{
-		byEndpoint: make(map[string]int64),
-		latencies:  make([]time.Duration, latencyWindow),
+		reg:        reg,
+		requests:   reg.Counter("http.requests"),
+		errors:     reg.Counter("http.errors"),
+		latency:    reg.Histogram("http.latency_ms", obs.LatencyBucketsMs),
+		byEndpoint: make(map[string]*obs.Counter),
 		byDB:       make(map[string]*dbTally, len(dbNames)),
 	}
 	for _, name := range dbNames {
-		m.byDB[name] = &dbTally{}
+		m.byDB[name] = &dbTally{
+			hits:   reg.Counter("db." + name + ".hits"),
+			misses: reg.Counter("db." + name + ".misses"),
+		}
 	}
 	return m
+}
+
+// endpointCounter resolves the per-route counter, creating it on first
+// use under the registry name "http.by_endpoint.<METHOD PATH>".
+func (m *metrics) endpointCounter(route string) *obs.Counter {
+	m.mu.RLock()
+	c, ok := m.byEndpoint[route]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.byEndpoint[route]; ok {
+		return c
+	}
+	c = m.reg.Counter("http.by_endpoint." + route)
+	m.byEndpoint[route] = c
+	return c
 }
 
 // middleware counts the request, its endpoint, its status class and its
@@ -78,19 +105,12 @@ func (m *metrics) middleware(next http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		m.requests.Add(1)
+		m.requests.Inc()
 		if rec.status >= 400 {
-			m.errors.Add(1)
+			m.errors.Inc()
 		}
-		elapsed := time.Since(start)
-		m.mu.Lock()
-		m.byEndpoint[r.Method+" "+r.URL.Path]++
-		m.latencies[m.latIdx] = elapsed
-		m.latIdx++
-		if m.latIdx == len(m.latencies) {
-			m.latIdx, m.latFull = 0, true
-		}
-		m.mu.Unlock()
+		m.endpointCounter(r.Method + " " + r.URL.Path).Inc()
+		m.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	})
 }
 
@@ -103,13 +123,13 @@ func (m *metrics) recordLookup(db string, found bool) {
 		return
 	}
 	if found {
-		t.hits.Add(1)
+		t.hits.Inc()
 	} else {
-		t.misses.Add(1)
+		t.misses.Inc()
 	}
 }
 
-// snapshot assembles a StatsResponse from the live counters.
+// snapshot assembles a StatsResponse from the live instruments.
 func (m *metrics) snapshot() StatsResponse {
 	out := StatsResponse{
 		Requests:   m.requests.Value(),
@@ -118,26 +138,15 @@ func (m *metrics) snapshot() StatsResponse {
 		LatencyMs:  make(map[string]float64),
 		DBs:        make(map[string]DBStats, len(m.byDB)),
 	}
-	m.mu.Lock()
-	for ep, n := range m.byEndpoint {
-		out.ByEndpoint[ep] = n
+	m.mu.RLock()
+	for route, c := range m.byEndpoint {
+		out.ByEndpoint[route] = c.Value()
 	}
-	n := m.latIdx
-	if m.latFull {
-		n = len(m.latencies)
-	}
-	sample := append([]time.Duration(nil), m.latencies[:n]...)
-	m.mu.Unlock()
-
-	if len(sample) > 0 {
-		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-		q := func(p float64) float64 {
-			i := int(p * float64(len(sample)-1))
-			return float64(sample[i]) / float64(time.Millisecond)
-		}
-		out.LatencyMs["p50"] = q(0.50)
-		out.LatencyMs["p90"] = q(0.90)
-		out.LatencyMs["p99"] = q(0.99)
+	m.mu.RUnlock()
+	if m.latency.Count() > 0 {
+		out.LatencyMs["p50"] = m.latency.Quantile(0.50)
+		out.LatencyMs["p90"] = m.latency.Quantile(0.90)
+		out.LatencyMs["p99"] = m.latency.Quantile(0.99)
 	}
 	for name, t := range m.byDB {
 		out.DBs[name] = DBStats{Hits: t.hits.Value(), Misses: t.misses.Value()}

@@ -1,7 +1,7 @@
 package httpapi
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
 	"time"
 )
@@ -41,13 +41,33 @@ func recoveryMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// loggingMiddleware writes one line per request: method, path, status,
-// duration.
-func loggingMiddleware(l *log.Logger, next http.Handler) http.Handler {
+// accessLogLevel maps a response status to the level its access-log line
+// carries: plain requests are Info, client errors Warn, server errors
+// Error. Running the logger with a Warn floor (geoserve -quiet) thus
+// silences routine traffic while failures still log.
+func accessLogLevel(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// loggingMiddleware writes one structured line per request: method,
+// path, status, duration — at a level keyed to the status class.
+func loggingMiddleware(l *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		l.Printf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		l.Log(r.Context(), accessLogLevel(rec.status), "request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"dur", time.Since(start).Round(time.Microsecond),
+		)
 	})
 }

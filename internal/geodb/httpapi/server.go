@@ -3,7 +3,7 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -13,6 +13,7 @@ import (
 
 	"routergeo/internal/geodb"
 	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
 )
 
 // Server defaults; all overridable through ServerOptions.
@@ -69,9 +70,11 @@ func WithServerConcurrency(n int) ServerOption {
 	}
 }
 
-// WithLogger enables request logging to l (one line per request:
-// method, path, status, duration). nil keeps logging off.
-func WithLogger(l *log.Logger) ServerOption {
+// WithLogger enables structured request logging through l (one line per
+// request: method, path, status, duration — Info for 2xx/3xx, Warn for
+// 4xx, Error for 5xx, so a Warn-floored logger keeps failures visible
+// while silencing routine traffic). nil keeps access logging off.
+func WithLogger(l *slog.Logger) ServerOption {
 	return func(h *Handler) { h.logger = l }
 }
 
@@ -87,7 +90,7 @@ type Handler struct {
 	maxBody     int64
 	timeout     time.Duration
 	concurrency int
-	logger      *log.Logger
+	logger      *slog.Logger
 
 	draining atomic.Bool
 	metrics  *metrics
@@ -152,6 +155,10 @@ func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
 
 // Draining reports the current drain state.
 func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// Registry exposes the handler's metrics registry — the same instruments
+// /v2/stats is assembled from — for debug endpoints and tests.
+func (h *Handler) Registry() *obs.Registry { return h.metrics.reg }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if h.draining.Load() {

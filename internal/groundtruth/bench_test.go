@@ -1,6 +1,7 @@
 package groundtruth
 
 import (
+	"context"
 	"testing"
 
 	"routergeo/internal/ark"
@@ -36,7 +37,7 @@ func benchSetup(b *testing.B) *benchEnv {
 	dict := hints.NewDictionary(w.Gaz)
 	e := &benchEnv{
 		w:    w,
-		coll: ark.Collect(w, ark.DefaultConfig()),
+		coll: ark.Collect(context.Background(), w, ark.DefaultConfig()),
 		zone: rdns.Synthesize(w, dict, rdns.DefaultConfig()),
 		dec:  hints.NewDecoder(dict),
 	}
@@ -54,7 +55,7 @@ func BenchmarkBuildDNS(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildDNS(e.w, e.coll, e.zone, e.dec)
+		BuildDNS(context.Background(), e.w, e.coll, e.zone, e.dec)
 	}
 }
 
@@ -65,6 +66,6 @@ func BenchmarkBuildRTT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildRTT(e.w, e.fleet, e.ms, DefaultRTTConfig())
+		BuildRTT(context.Background(), e.w, e.fleet, e.ms, DefaultRTTConfig())
 	}
 }

@@ -1,9 +1,12 @@
 package groundtruth
 
 import (
+	"context"
+
 	"routergeo/internal/ark"
 	"routergeo/internal/hints"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/rdns"
 )
 
@@ -23,7 +26,10 @@ type DNSStats struct {
 // domains, decode the location hints. Locations are the decoded cities'
 // coordinates; interfaces whose names carry no decodable hint are dropped
 // (the paper geolocated 11,857 of ~13.5K candidate addresses).
-func BuildDNS(w *netsim.World, coll *ark.Collection, zone *rdns.Zone, dec *hints.Decoder) (*Dataset, DNSStats) {
+func BuildDNS(ctx context.Context, w *netsim.World, coll *ark.Collection, zone *rdns.Zone, dec *hints.Decoder) (*Dataset, DNSStats) {
+	_, sp := obs.Start(ctx, "groundtruth.dns")
+	defer sp.End()
+	sp.SetAttr("ark_interfaces", len(coll.Interfaces))
 	gtDomains := map[string]bool{}
 	for _, d := range hints.GroundTruthDomains() {
 		gtDomains[d] = true
@@ -62,5 +68,6 @@ func BuildDNS(w *netsim.World, coll *ark.Collection, zone *rdns.Zone, dec *hints
 			Domain:  domain,
 		})
 	}
+	sp.SetItems(int64(len(entries)))
 	return NewDataset("DNS-based", entries), stats
 }

@@ -1,6 +1,7 @@
 package groundtruth
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,7 +43,7 @@ func setup(t *testing.T) *env {
 	dict := hints.NewDictionary(w.Gaz)
 	e := &env{
 		w:    w,
-		coll: ark.Collect(w, ark.DefaultConfig()),
+		coll: ark.Collect(context.Background(), w, ark.DefaultConfig()),
 		zone: rdns.Synthesize(w, dict, rdns.DefaultConfig()),
 		dec:  hints.NewDecoder(dict),
 	}
@@ -50,8 +51,8 @@ func setup(t *testing.T) *env {
 	fc.Probes = 700
 	e.fleet = atlas.Deploy(w, fc)
 	e.ms = e.fleet.RunBuiltins(3)
-	e.dns, e.dnsSt = BuildDNS(w, e.coll, e.zone, e.dec)
-	e.rtt, e.rttSt = BuildRTT(w, e.fleet, e.ms, DefaultRTTConfig())
+	e.dns, e.dnsSt = BuildDNS(context.Background(), w, e.coll, e.zone, e.dec)
+	e.rtt, e.rttSt = BuildRTT(context.Background(), w, e.fleet, e.ms, DefaultRTTConfig())
 	cached = e
 	return e
 }

@@ -1,11 +1,13 @@
 package groundtruth
 
 import (
+	"context"
 	"sort"
 
 	"routergeo/internal/atlas"
 	"routergeo/internal/ipx"
 	"routergeo/internal/netsim"
+	"routergeo/internal/obs"
 	"routergeo/internal/rtt"
 )
 
@@ -62,7 +64,11 @@ type RTTStats struct {
 // BuildRTT derives the RTT-proximity ground truth from built-in
 // measurements. Only the probes' *reported* locations are used; the §3.2
 // filters must catch mislocated probes on their own.
-func BuildRTT(w *netsim.World, fleet *atlas.Fleet, ms []atlas.Measurement, cfg RTTConfig) (*Dataset, RTTStats) {
+func BuildRTT(ctx context.Context, w *netsim.World, fleet *atlas.Fleet, ms []atlas.Measurement, cfg RTTConfig) (*Dataset, RTTStats) {
+	_, sp := obs.Start(ctx, "groundtruth.rtt")
+	defer sp.End()
+	sp.SetAttr("threshold_ms", cfg.ThresholdMs)
+	sp.SetAttr("measurements", len(ms))
 	probeByID := map[int]*atlas.Probe{}
 	for i := range fleet.Probes {
 		probeByID[fleet.Probes[i].ID] = &fleet.Probes[i]
@@ -209,6 +215,7 @@ func BuildRTT(w *netsim.World, fleet *atlas.Fleet, ms []atlas.Measurement, cfg R
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Addr < entries[j].Addr })
 	ds := NewDataset("RTT-proximity", entries)
 	stats.Final = ds.Len()
+	sp.SetItems(int64(ds.Len()))
 	if ds.Len() > 0 {
 		stats.TwoPlusHopsShare = float64(twoPlus) / float64(ds.Len())
 	}

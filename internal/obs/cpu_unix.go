@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time. Span
+// CPU durations are deltas of this, so they measure the whole process —
+// fine for the sequential pipeline stages this package instruments, an
+// overestimate for concurrent ones.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

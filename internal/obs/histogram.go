@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBucketsMs is the default bucket layout for request latencies,
+// spanning 50µs to 10s on a roughly logarithmic grid.
+var LatencyBucketsMs = []float64{
+	0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000,
+}
+
+// atomicFloat is a float64 updated through CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) min(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe.
+// Each bucket counts observations at or below its upper bound (the last,
+// implicit bucket catches everything above the largest bound). Quantiles
+// are estimated by linear interpolation inside the owning bucket,
+// sharpened by the exact observed minimum and maximum, so distributions
+// that land on bucket bounds reproduce exactly.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the extra slot is the overflow bucket
+	count  atomic.Int64
+	sum    atomicFloat
+	mn, mx atomicFloat
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (copied, sorted, deduplicated). An empty bounds slice falls back to
+// LatencyBucketsMs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBucketsMs
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	h := &Histogram{bounds: dedup, counts: make([]atomic.Int64, len(dedup)+1)}
+	h.mn.store(math.Inf(1))
+	h.mx.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.mn.min(v)
+	h.mx.max(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Min returns the smallest observed value (0 before any observation).
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.mn.load()
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.mx.load()
+}
+
+// Mean returns the average observed value (0 before any observation).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.load() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution. Concurrent Observes may skew an in-flight estimate by at
+// most the in-flight observations; the estimate is exact whenever the
+// distribution's mass sits on bucket bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	mn, mx := h.mn.load(), h.mx.load()
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		// The rank-th observation lives in bucket i, spanning
+		// (prev bound, bounds[i]] — clamped by the observed extremes.
+		lo := mn
+		if i > 0 && h.bounds[i-1] > lo {
+			lo = h.bounds[i-1]
+		}
+		hi := mx
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(rank-cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return mx
+}
+
+// HistogramSnapshot is a point-in-time copy shaped for JSON.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(bounds)+1; the last is the overflow bucket
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		Mean:   h.Mean(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHistogramQuantileUniformIntegers(t *testing.T) {
+	// Bucket bounds at every integer: 1..100 observed once each lands one
+	// value per bucket, so quantiles must be exact.
+	bounds := make([]float64, 100)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := NewHistogram(bounds)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}, {0.01, 1},
+	} {
+		if got := h.Quantile(tc.q); !almostEqual(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	if got := h.Sum(); !almostEqual(got, 5050) {
+		t.Errorf("Sum = %v, want 5050", got)
+	}
+	if got := h.Mean(); !almostEqual(got, 50.5) {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramQuantileSingleValue(t *testing.T) {
+	// All mass on one value: min == max clamps interpolation, so every
+	// quantile is exact regardless of bucket layout.
+	h := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 1000; i++ {
+		h.Observe(42)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); !almostEqual(got, 42) {
+			t.Errorf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	if h.Min() != 42 || h.Max() != 42 {
+		t.Errorf("Min/Max = %v/%v, want 42/42", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileTwoPoint(t *testing.T) {
+	// Half the mass at 1, half at 100, buckets splitting them: the median
+	// comes from the low bucket (clamped to [1,1]), p90 from the high one
+	// (clamped to [100,100] via observed max and the 50-bound floor... the
+	// high bucket spans (50, 200] clamped to [50, 100]).
+	h := NewHistogram([]float64{1, 50, 200})
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); !almostEqual(got, 1) {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	// p90: rank 90 is the 40th of 50 observations in the (50,200] bucket,
+	// interpolated over [50, 100] -> 50 + 0.8*50 = 90.
+	if got := h.Quantile(0.9); !almostEqual(got, 90) {
+		t.Errorf("p90 = %v, want 90", got)
+	}
+	if got := h.Quantile(1); !almostEqual(got, 100) {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	// Values beyond the last bound land in the overflow bucket and
+	// interpolate toward the observed max, never to infinity.
+	h := NewHistogram([]float64{10})
+	h.Observe(500)
+	h.Observe(1000)
+	if got := h.Quantile(1); !almostEqual(got, 1000) {
+		t.Errorf("p100 = %v, want 1000", got)
+	}
+	got := h.Quantile(0.5)
+	if math.IsInf(got, 0) || got < 10 || got > 1000 {
+		t.Errorf("p50 = %v, want a finite value in [10, 1000]", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty Min/Max/Mean = %v/%v/%v, want zeros", h.Min(), h.Max(), h.Mean())
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Counts) != len(s.Bounds)+1 {
+		t.Errorf("empty snapshot: count=%d counts=%d bounds=%d", s.Count, len(s.Counts), len(s.Bounds))
+	}
+}
+
+func TestHistogramDedupSortsBounds(t *testing.T) {
+	h := NewHistogram([]float64{5, 1, 5, 3, 1})
+	want := []float64{1, 3, 5}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for i, b := range want {
+		if h.bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", h.bounds, want)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Exercised under -race by make check: concurrent Observe plus
+	// concurrent snapshots must stay race-free and lose no observations.
+	h := NewHistogram(LatencyBucketsMs)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker+i) / 100)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Snapshot()
+				h.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("Count = %d, want %d", got, workers*perWorker)
+	}
+	var bucketSum int64
+	s := h.Snapshot()
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != workers*perWorker {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, workers*perWorker)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not stable across calls")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not stable across calls")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{9, 10, 11})
+	if h1 != h2 {
+		t.Error("Histogram not stable across calls")
+	}
+	if len(h1.bounds) != 2 {
+		t.Error("later Histogram call replaced the original buckets")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h", nil).Observe(1.5)
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Gauges["g"] != -7 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot mismatch: %+v", snap)
+	}
+	if snap.Empty() {
+		t.Error("non-empty snapshot reported Empty")
+	}
+	if (Snapshot{}).Empty() != true {
+		t.Error("zero snapshot not Empty")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(1)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package obs is the reproduction's observability layer: structured
+// leveled logging on log/slog, a process-local metrics registry
+// (counters, gauges, fixed-bucket histograms with quantile estimation),
+// lightweight hierarchical trace spans, rate-limited progress reporting
+// for long loops, and machine-readable run manifests.
+//
+// The package is dependency-free by design — everything is stdlib — so
+// any layer of the pipeline (server, CLIs, core evaluation, experiment
+// harness) can instrument itself without import cycles or new deps.
+//
+// The pieces compose like this:
+//
+//	run := obs.NewRun("routergeo")
+//	ctx := run.Context(context.Background())
+//	...
+//	ctx, sp := obs.Start(ctx, "groundtruth.rtt") // child of the run root
+//	defer sp.End()
+//	sp.SetItems(int64(ds.Len()))
+//	...
+//	run.WriteManifest("routergeo-run.json") // config, stage tree, metrics
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	// Accept slog's own spellings ("INFO", "DEBUG-4", ...) as an escape
+	// hatch before rejecting.
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err == nil {
+		return l, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a leveled slog.Logger writing to w. format is "text"
+// (the default) or "json"; unknown formats fall back to text so a typo
+// never silences logging outright.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// LogFlags holds the shared -log-level/-log-format flag values every
+// binary registers through AddLogFlags.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// AddLogFlags registers -log-level and -log-format on fs (use
+// flag.CommandLine in a main) and returns the destination struct.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text or json")
+	return lf
+}
+
+// MinLevel parses the level flag, falling back to info on nonsense (the
+// error surface is Setup's job).
+func (lf *LogFlags) MinLevel() slog.Level {
+	level, err := ParseLevel(lf.Level)
+	if err != nil {
+		return slog.LevelInfo
+	}
+	return level
+}
+
+// Setup builds the logger the flags describe, installs it as the slog
+// default (so package-level slog calls and span debug lines follow the
+// binary's flags), and returns it.
+func (lf *LogFlags) Setup(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(lf.Level)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(lf.Format) {
+	case "", "text", "json":
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", lf.Format)
+	}
+	l := NewLogger(w, level, lf.Format)
+	slog.SetDefault(l)
+	return l, nil
+}

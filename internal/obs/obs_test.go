@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug},
+		{"info", slog.LevelInfo},
+		{"", slog.LevelInfo},
+		{"warn", slog.LevelWarn},
+		{"Warning", slog.LevelWarn},
+		{"ERROR", slog.LevelError},
+		{"DEBUG-4", slog.LevelDebug - 4},
+	} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+func TestLogFlagsSetup(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := AddLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+	l, err := lf.Setup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked past warn floor: %q", out)
+	}
+	if !strings.Contains(out, `"msg":"shown"`) {
+		t.Errorf("warn line missing or not JSON: %q", out)
+	}
+
+	lf.Format = "yaml"
+	if _, err := lf.Setup(&buf); err == nil {
+		t.Error("Setup accepted unknown format")
+	}
+	lf.Format = "text"
+	lf.Level = "loud"
+	if _, err := lf.Setup(&buf); err == nil {
+		t.Error("Setup accepted unknown level")
+	}
+}
+
+func TestProgressRateLimited(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+
+	p := NewProgress("test.loop", ProgressThreshold)
+	p.interval = 10 * time.Millisecond
+	p.logger = logger
+	if !p.enabled {
+		t.Fatal("reporter at threshold should be enabled")
+	}
+	for i := 0; i < 100; i++ {
+		p.Add(ProgressThreshold / 100)
+		time.Sleep(time.Millisecond)
+	}
+	p.Finish()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Count(out, "stage=test.loop")
+	// 100ms of work at a 10ms interval: some lines, far fewer than 100
+	// Adds, plus the Finish summary.
+	if lines < 2 || lines > 30 {
+		t.Errorf("got %d progress lines, want a handful: %q", lines, out)
+	}
+	if !strings.Contains(out, "progress done") {
+		t.Errorf("missing completion summary: %q", out)
+	}
+
+	// Below the threshold the reporter stays silent.
+	buf.Reset()
+	small := NewProgress("small", ProgressThreshold-1)
+	small.interval = 0
+	small.logger = logger
+	small.Add(50)
+	small.Finish()
+	mu.Lock()
+	out = buf.String()
+	mu.Unlock()
+	if out != "" {
+		t.Errorf("small loop logged: %q", out)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

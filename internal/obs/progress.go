@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressThreshold is the loop size below which NewProgress stays
+// silent: short loops finish before a progress line would help.
+const ProgressThreshold = 100_000
+
+// defaultProgressInterval is the minimum gap between progress lines.
+const defaultProgressInterval = 2 * time.Second
+
+// Progress emits rate-limited slog progress lines (with throughput and
+// ETA) for a long loop. Add is safe to call from concurrent workers and
+// costs one atomic add plus a time read when no line is due.
+type Progress struct {
+	stage    string
+	total    int64
+	start    time.Time
+	interval time.Duration // overridable in tests
+	enabled  bool
+	done     atomic.Int64
+	lastNano atomic.Int64
+	logger   *slog.Logger
+}
+
+// NewProgress returns a reporter for a loop over total items under the
+// given stage name. Loops under ProgressThreshold items get a disabled
+// reporter whose methods are no-ops.
+func NewProgress(stage string, total int64) *Progress {
+	p := &Progress{
+		stage:    stage,
+		total:    total,
+		start:    time.Now(),
+		interval: defaultProgressInterval,
+		enabled:  total >= ProgressThreshold,
+		logger:   slog.Default(),
+	}
+	p.lastNano.Store(p.start.UnixNano())
+	return p
+}
+
+// Add records n more completed items, emitting a progress line if at
+// least one interval elapsed since the previous line.
+func (p *Progress) Add(n int64) {
+	done := p.done.Add(n)
+	if !p.enabled {
+		return
+	}
+	now := time.Now()
+	last := p.lastNano.Load()
+	if now.UnixNano()-last < int64(p.interval) {
+		return
+	}
+	// One goroutine wins the CAS and emits; the rest skip.
+	if !p.lastNano.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	elapsed := now.Sub(p.start).Seconds()
+	rate := float64(done) / elapsed
+	var eta time.Duration
+	if rate > 0 && done < p.total {
+		eta = time.Duration(float64(p.total-done) / rate * float64(time.Second))
+	}
+	p.logger.Info("progress",
+		"stage", p.stage,
+		"done", done,
+		"total", p.total,
+		"pct", int(100*done/max64(p.total, 1)),
+		"rate_per_s", int64(rate),
+		"eta", eta.Round(time.Second),
+	)
+}
+
+// Finish emits a completion summary (only for enabled reporters).
+func (p *Progress) Finish() {
+	if !p.enabled {
+		return
+	}
+	elapsed := time.Since(p.start)
+	done := p.done.Load()
+	rate := int64(0)
+	if s := elapsed.Seconds(); s > 0 {
+		rate = int64(float64(done) / s)
+	}
+	p.logger.Info("progress done",
+		"stage", p.stage,
+		"items", done,
+		"wall", elapsed.Round(time.Millisecond),
+		"rate_per_s", rate,
+	)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -6,6 +6,7 @@ package routergeo
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -85,8 +86,8 @@ func TestRemoteProviderMatchesLocalEvaluation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		local := core.MeasureAccuracy(db, s.env.Targets)
-		got := core.MeasureAccuracy(remote, s.env.Targets)
+		local := core.MeasureAccuracy(context.Background(), db, s.env.Targets)
+		got := core.MeasureAccuracy(context.Background(), remote, s.env.Targets)
 		if local.Total != got.Total ||
 			local.CountryAnswered != got.CountryAnswered ||
 			local.CountryCorrect != got.CountryCorrect ||

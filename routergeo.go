@@ -20,6 +20,7 @@
 package routergeo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -72,7 +73,7 @@ func New(opts ...Option) (*Study, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	env, err := experiments.NewEnv(cfg)
+	env, err := experiments.NewEnv(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +219,7 @@ type AccuracySummary struct {
 
 // Accuracy evaluates one database against the ground truth.
 func (s *Study) Accuracy(db string) AccuracySummary {
-	a := core.MeasureAccuracy(s.env.DB(db), s.env.Targets)
+	a := core.MeasureAccuracy(context.Background(), s.env.DB(db), s.env.Targets)
 	out := AccuracySummary{
 		Targets:         a.Total,
 		CountryCoverage: a.CountryCoverage(),
@@ -235,7 +236,7 @@ func (s *Study) Accuracy(db string) AccuracySummary {
 // AccuracyByRegion evaluates one database per RIR region.
 func (s *Study) AccuracyByRegion(db string) map[string]AccuracySummary {
 	out := map[string]AccuracySummary{}
-	for rir, a := range core.AccuracyByRIR(s.env.DB(db), s.env.Targets) {
+	for rir, a := range core.AccuracyByRIR(context.Background(), s.env.DB(db), s.env.Targets) {
 		sum := AccuracySummary{
 			Targets:         a.Total,
 			CountryCoverage: a.CountryCoverage(),
@@ -255,7 +256,7 @@ func (s *Study) AccuracyByRegion(db string) map[string]AccuracySummary {
 // fraction of commonly answered addresses placed more than 40 km apart
 // (Figure 1's headline number).
 func (s *Study) Disagreement(dbA, dbB string) (over40Frac float64, compared int) {
-	p := core.MeasurePairwiseCity(s.env.DB(dbA), s.env.DB(dbB), s.env.ArkAddrs)
+	p := core.MeasurePairwiseCity(context.Background(), s.env.DB(dbA), s.env.DB(dbB), s.env.ArkAddrs)
 	return p.DisagreeOver40Pct(), p.Both
 }
 
@@ -265,8 +266,8 @@ func (s *Study) Recommendations() []string {
 	results := map[string]core.Accuracy{}
 	perRIR := map[string]map[geo.RIR]core.Accuracy{}
 	for _, db := range s.env.DBs {
-		results[db.Name()] = core.MeasureAccuracy(db, s.env.Targets)
-		perRIR[db.Name()] = core.AccuracyByRIR(db, s.env.Targets)
+		results[db.Name()] = core.MeasureAccuracy(context.Background(), db, s.env.Targets)
+		perRIR[db.Name()] = core.AccuracyByRIR(context.Background(), db, s.env.Targets)
 	}
 	var out []string
 	for _, r := range core.Recommend(results, perRIR) {
@@ -281,7 +282,7 @@ func (s *Study) RunExperiment(id string, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("routergeo: unknown experiment %q", id)
 	}
-	return e.Run(w, s.env)
+	return experiments.RunOne(context.Background(), e, w, s.env)
 }
 
 // ExperimentIDs lists the reproducible artifacts in presentation order.
