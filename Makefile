@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench
+.PHONY: check vet fmt build test race bench bench-compare
 
 check: vet fmt build race
 
@@ -23,13 +23,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The obs package is all atomics and locks; race it first and fast,
-# then the rest of the tree.
+# The concurrency-heavy packages race first and fast — obs (atomics and
+# locks), core (the parallel measurement engine) and ipx (the shared
+# lookup index) — then the rest of the tree.
 race:
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/ipx/...
 	$(GO) test -race ./...
 
-# Module-wide benchmarks (batching win, histogram/span overhead, ...),
-# teed into BENCH_obs.json for comparison across PRs.
+# Measurement-engine benchmarks: sweep throughput serial vs parallel,
+# plus the lookup index and ECDF machinery under it. Teed into
+# BENCH_core.json, the committed baseline bench-compare gates against.
+BENCH_PATTERN = Coverage|Accuracy|Consistency|Lookup|ECDF
+BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/...
+
 bench:
-	$(GO) test -bench . -benchmem -run ^$$ ./... | tee BENCH_obs.json
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.json
+
+# bench-compare re-runs the engine benchmarks and fails on any ns/op
+# regression past the threshold against the committed baseline.
+bench-compare:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold 1.30

@@ -1,0 +1,148 @@
+// Command benchcompare diffs two `go test -bench` outputs (as teed into
+// BENCH_core.json by make bench) and fails when any benchmark regressed
+// past a threshold. It is the gate behind make bench-compare.
+//
+// Usage:
+//
+//	benchcompare -old BENCH_core.json -new BENCH_core.new.json [-threshold 1.30]
+//
+// Benchmarks are matched by name with the -GOMAXPROCS suffix stripped,
+// so runs from machines with different core counts still compare.
+// A ratio (new ns/op ÷ old ns/op) above the threshold is a regression;
+// benchmarks present in only one file are reported but never fail the
+// gate, since adding or retiring a benchmark is not a slowdown.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// parse reads every "Benchmark..." line of a bench output file.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r result
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp, ok = v, true
+			case "B/op":
+				r.bytesPerOp, r.hasMem = v, true
+			case "allocs/op":
+				r.allocsPerOp = v
+			}
+		}
+		if ok {
+			out[name] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_core.json", "baseline bench output")
+		newPath   = flag.String("new", "", "fresh bench output to compare")
+		threshold = flag.Float64("threshold", 1.30, "fail when new/old ns/op exceeds this ratio")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
+		os.Exit(2)
+	}
+	oldR, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	newR, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldR))
+	for name := range oldR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o := oldR[name]
+		n, ok := newR[name]
+		if !ok {
+			fmt.Printf("%-60s %14.1f %14s %8s\n", name, o.nsPerOp, "gone", "-")
+			continue
+		}
+		ratio := 0.0
+		if o.nsPerOp > 0 {
+			ratio = n.nsPerOp / o.nsPerOp
+		}
+		mark := ""
+		if ratio > *threshold {
+			mark = "  REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%.2fx > %.2fx)",
+				name, o.nsPerOp, n.nsPerOp, ratio, *threshold))
+		}
+		fmt.Printf("%-60s %14.1f %14.1f %7.2fx%s\n", name, o.nsPerOp, n.nsPerOp, ratio, mark)
+		if o.hasMem && n.hasMem && n.allocsPerOp > o.allocsPerOp {
+			fmt.Printf("%-60s %14s allocs/op %.0f -> %.0f\n", "  ^ note:", "", o.allocsPerOp, n.allocsPerOp)
+		}
+	}
+	added := 0
+	for name := range newR {
+		if _, ok := oldR[name]; !ok {
+			added++
+		}
+	}
+	if added > 0 {
+		fmt.Printf("(%d benchmark(s) only in the new run)\n", added)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d regression(s) past %.2fx:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcompare: no regressions")
+}

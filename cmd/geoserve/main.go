@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"routergeo/internal/core"
 	"routergeo/internal/experiments"
 	"routergeo/internal/geodb"
 	"routergeo/internal/geodb/dbfile"
@@ -56,11 +57,16 @@ func main() {
 		grace       = flag.Duration("grace", time.Second, "delay between /healthz flipping to draining and the listener closing")
 		quiet       = flag.Bool("quiet", false, "silence routine access logs (4xx/5xx still log)")
 		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof and /debug/metrics")
+		par         = flag.Int("parallelism", 0, "worker count for measurement loops and the default batch pool width (0 = GOMAXPROCS)")
 		dbPaths     dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
 	flag.Parse()
+	core.SetParallelism(*par)
+	if *concurrency == 0 && *par > 0 {
+		*concurrency = *par
+	}
 
 	logger, err := lf.Setup(os.Stderr)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"routergeo/internal/core"
 	"routergeo/internal/experiments"
 	"routergeo/internal/geodb/dbfile"
 	"routergeo/internal/obs"
@@ -43,9 +44,11 @@ func main() {
 		plotdir   = flag.String("plotdir", "", "export figure series as TSV files to this directory")
 		stability = flag.Int("stability", 0, "instead of experiments, rebuild the pipeline under N seeds and print headline metrics")
 		manifest  = flag.String("manifest", "routergeo-run.json", "write the JSON run manifest here (empty disables)")
+		par       = flag.Int("parallelism", 0, "worker count for measurement loops and the experiment fan-out; 1 forces the serial path (0 = GOMAXPROCS)")
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+	core.SetParallelism(*par)
 
 	if _, err := lf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "routergeo:", err)

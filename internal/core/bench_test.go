@@ -1,0 +1,102 @@
+package core
+
+// Benchmarks for the measurement engine's three hot sweeps: coverage,
+// accuracy and consistency. Each runs serial (the oracle path) and
+// parallel (the engine at GOMAXPROCS) over the same synthetic inputs,
+// so the pairwise delta is the engine's speedup on this machine:
+//
+//	go test -bench 'Coverage|Accuracy|Consistency' -benchmem ./internal/core/
+//
+// make bench tees the module-wide run into BENCH_core.json; make
+// bench-compare diffs a fresh run against that baseline.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+const benchAddrs = 200_000
+
+var (
+	benchOnce    sync.Once
+	benchDBA     *geodb.DB
+	benchDBB     *geodb.DB
+	benchAddrSet []ipx.Addr
+	benchTargets []Target
+)
+
+func benchInputs(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		// Progress reporters log through slog.Default; silence it so the
+		// bench output (teed into BENCH_core.json) stays machine-parseable.
+		slog.SetDefault(slog.New(slog.NewTextHandler(io.Discard, nil)))
+		benchDBA = synthDB(b, "bench-a", 11)
+		benchDBB = synthDB(b, "bench-b", 12)
+		benchAddrSet, benchTargets = synthInputs(benchAddrs)
+	})
+}
+
+// benchModes runs fn once per engine mode with parallelism pinned.
+func benchModes(b *testing.B, fn func(b *testing.B)) {
+	benchInputs(b)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetParallelism(mode.workers)
+			defer SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			fn(b)
+		})
+	}
+}
+
+func BenchmarkCoverage(b *testing.B) {
+	benchModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MeasureCoverage(context.Background(), benchDBA, benchAddrSet)
+		}
+	})
+}
+
+func BenchmarkAccuracy(b *testing.B) {
+	benchModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MeasureAccuracy(context.Background(), benchDBA, benchTargets)
+		}
+	})
+}
+
+// BenchmarkConsistency measures the pairwise sweeps behind §5.1 and
+// Figure 1: country agreement plus the city-distance comparison.
+func BenchmarkConsistency(b *testing.B) {
+	benchModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CountryAgreement(context.Background(), benchDBA, benchDBB, benchAddrSet)
+			MeasurePairwiseCity(context.Background(), benchDBA, benchDBB, benchAddrSet)
+		}
+	})
+}
+
+// BenchmarkConsistencyAllDBs measures the every-database agreement scan.
+func BenchmarkConsistencyAllDBs(b *testing.B) {
+	benchInputs(b)
+	dbs := []geodb.Provider{benchDBA, benchDBB}
+	benchModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CountryAgreementAll(context.Background(), dbs, benchAddrSet)
+		}
+	})
+}

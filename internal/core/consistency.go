@@ -17,21 +17,35 @@ func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr
 	sp.SetAttr("db_a", a.Name())
 	sp.SetAttr("db_b", b.Name())
 	sp.SetItems(int64(len(addrs)))
+	workers := workersFor(len(addrs))
+	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.country_agreement "+a.Name()+"/"+b.Name(), int64(len(addrs)))
 	defer prog.Finish()
-	prefetch(a, addrs)
-	prefetch(b, addrs)
-	for _, addr := range addrs {
-		ra, okA := a.Lookup(addr)
-		rb, okB := b.Lookup(addr)
-		prog.Add(1)
-		if !okA || !okB || !ra.HasCountry() || !rb.HasCountry() {
-			continue
+	type partial struct{ agree, both int }
+	parts := make([]partial, workers)
+	runChunks(len(addrs), workers, func(ci, lo, hi int) {
+		chunk := addrs[lo:hi]
+		prefetch(a, chunk)
+		prefetch(b, chunk)
+		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
+		var p partial
+		for _, addr := range chunk {
+			ra, okA := la(addr)
+			rb, okB := lb(addr)
+			prog.Add(1)
+			if !okA || !okB || !ra.HasCountry() || !rb.HasCountry() {
+				continue
+			}
+			p.both++
+			if ra.Country == rb.Country {
+				p.agree++
+			}
 		}
-		both++
-		if ra.Country == rb.Country {
-			agree++
-		}
+		parts[ci] = p
+	})
+	for _, p := range parts {
+		agree += p.agree
+		both += p.both
 	}
 	return agree, both
 }
@@ -43,29 +57,43 @@ func CountryAgreementAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.
 	defer sp.End()
 	sp.SetAttr("dbs", len(dbs))
 	sp.SetItems(int64(len(addrs)))
+	workers := workersFor(len(addrs))
+	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.country_agreement_all", int64(len(addrs)))
 	defer prog.Finish()
 	total = len(addrs)
-	for _, addr := range addrs {
-		country := ""
-		ok := true
-		for _, db := range dbs {
-			rec, found := db.Lookup(addr)
-			if !found || !rec.HasCountry() {
-				ok = false
-				break
+	parts := make([]int, workers)
+	runChunks(len(addrs), workers, func(ci, lo, hi int) {
+		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
+		for i, db := range dbs {
+			lookups[i] = geodb.LookupFunc(db)
+		}
+		n := 0
+		for _, addr := range addrs[lo:hi] {
+			country := ""
+			ok := true
+			for _, lookup := range lookups {
+				rec, found := lookup(addr)
+				if !found || !rec.HasCountry() {
+					ok = false
+					break
+				}
+				if country == "" {
+					country = rec.Country
+				} else if rec.Country != country {
+					ok = false
+					break
+				}
 			}
-			if country == "" {
-				country = rec.Country
-			} else if rec.Country != country {
-				ok = false
-				break
+			prog.Add(1)
+			if ok {
+				n++
 			}
 		}
-		prog.Add(1)
-		if ok {
-			agree++
-		}
+		parts[ci] = n
+	})
+	for _, n := range parts {
+		agree += n
 	}
 	return agree, total
 }
@@ -89,29 +117,46 @@ func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.A
 	sp.SetAttr("db_a", a.Name())
 	sp.SetAttr("db_b", b.Name())
 	sp.SetItems(int64(len(addrs)))
+	workers := workersFor(len(addrs))
+	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.pairwise_city "+a.Name()+"/"+b.Name(), int64(len(addrs)))
 	defer prog.Finish()
-	prefetch(a, addrs)
-	prefetch(b, addrs)
-	out := PairwiseCity{CDF: &stats.ECDF{}}
-	for _, addr := range addrs {
-		ra, okA := a.Lookup(addr)
-		rb, okB := b.Lookup(addr)
-		prog.Add(1)
-		if !okA || !okB || !ra.HasCity() || !rb.HasCity() {
-			continue
+	parts := make([]PairwiseCity, workers)
+	runChunks(len(addrs), workers, func(ci, lo, hi int) {
+		chunk := addrs[lo:hi]
+		prefetch(a, chunk)
+		prefetch(b, chunk)
+		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
+		p := PairwiseCity{CDF: &stats.ECDF{}}
+		for _, addr := range chunk {
+			ra, okA := la(addr)
+			rb, okB := lb(addr)
+			prog.Add(1)
+			if !okA || !okB || !ra.HasCity() || !rb.HasCity() {
+				continue
+			}
+			p.Both++
+			if ra.Coord == rb.Coord {
+				p.Identical++
+				continue
+			}
+			d := ra.Coord.DistanceKm(rb.Coord)
+			p.CDF.Add(d)
+			if d > CityRangeKm {
+				p.Over40Km++
+			}
 		}
-		out.Both++
-		if ra.Coord == rb.Coord {
-			out.Identical++
-			continue
-		}
-		d := ra.Coord.DistanceKm(rb.Coord)
-		out.CDF.Add(d)
-		if d > CityRangeKm {
-			out.Over40Km++
-		}
+		parts[ci] = p
+	})
+	var out PairwiseCity
+	cdfs := make([]*stats.ECDF, len(parts))
+	for i, p := range parts {
+		out.Both += p.Both
+		out.Identical += p.Identical
+		out.Over40Km += p.Over40Km
+		cdfs[i] = p.CDF
 	}
+	out.CDF = stats.Merge(cdfs...)
 	return out
 }
 
@@ -124,27 +169,50 @@ func (p PairwiseCity) DisagreeOver40Pct() float64 {
 
 // CityAnsweredInAll filters addrs to those with city-level coordinates in
 // every database — the ~692K-address subset Figure 1 is computed over.
+// Per-chunk survivor lists concatenate in chunk order, so the output
+// preserves input order exactly as the serial loop does.
 func CityAnsweredInAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
 	_, sp := obs.Start(ctx, "core.city_answered_in_all")
 	defer sp.End()
 	sp.SetAttr("dbs", len(dbs))
 	sp.SetItems(int64(len(addrs)))
+	workers := workersFor(len(addrs))
+	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.city_answered_in_all", int64(len(addrs)))
 	defer prog.Finish()
-	var out []ipx.Addr
-	for _, addr := range addrs {
-		all := true
-		for _, db := range dbs {
-			rec, ok := db.Lookup(addr)
-			if !ok || !rec.HasCity() {
-				all = false
-				break
+	parts := make([][]ipx.Addr, workers)
+	runChunks(len(addrs), workers, func(ci, lo, hi int) {
+		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
+		for i, db := range dbs {
+			lookups[i] = geodb.LookupFunc(db)
+		}
+		var keep []ipx.Addr
+		for _, addr := range addrs[lo:hi] {
+			all := true
+			for _, lookup := range lookups {
+				rec, ok := lookup(addr)
+				if !ok || !rec.HasCity() {
+					all = false
+					break
+				}
+			}
+			prog.Add(1)
+			if all {
+				keep = append(keep, addr)
 			}
 		}
-		prog.Add(1)
-		if all {
-			out = append(out, addr)
-		}
+		parts[ci] = keep
+	})
+	if workers == 1 {
+		return parts[0]
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]ipx.Addr, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"routergeo/internal/geo"
 	"routergeo/internal/geodb"
@@ -102,18 +103,37 @@ func prefetchTargets(db geodb.Provider, targets []Target) {
 	prefetch(db, addrs)
 }
 
-// MeasureCoverage queries every address once.
+// MeasureCoverage queries every address once. Large inputs are scored by
+// the parallel engine; the result is identical either way.
 func MeasureCoverage(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) Coverage {
 	_, sp := obs.Start(ctx, "core.coverage")
 	defer sp.End()
 	sp.SetAttr("db", db.Name())
 	sp.SetItems(int64(len(addrs)))
+	workers := workersFor(len(addrs))
+	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.coverage "+db.Name(), int64(len(addrs)))
 	defer prog.Finish()
-	prefetch(db, addrs)
+	parts := make([]Coverage, workers)
+	runChunks(len(addrs), workers, func(ci, lo, hi int) {
+		chunk := addrs[lo:hi]
+		prefetch(db, chunk)
+		parts[ci] = coverageChunk(geodb.LookupFunc(db), chunk, prog)
+	})
+	var c Coverage
+	for _, p := range parts {
+		c.Total += p.Total
+		c.Country += p.Country
+		c.City += p.City
+	}
+	return c
+}
+
+// coverageChunk is the serial scoring loop over one chunk.
+func coverageChunk(lookup func(ipx.Addr) (geodb.Record, bool), addrs []ipx.Addr, prog *obs.Progress) Coverage {
 	c := Coverage{Total: len(addrs)}
 	for _, a := range addrs {
-		rec, ok := db.Lookup(a)
+		rec, ok := lookup(a)
 		prog.Add(1)
 		if !ok {
 			continue
@@ -152,16 +172,30 @@ func (a Accuracy) CountryAccuracy() float64 {
 func (a Accuracy) CityCoverage() float64 { return stats.Fraction(a.CityAnswered, a.Total) }
 func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a.CityAnswered) }
 
-// MeasureAccuracy scores db on every target.
+// MeasureAccuracy scores db on every target. Large inputs fan out over
+// the parallel engine, each worker filling a private partial whose raw
+// error samples are k-way merged back in chunk order.
 func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) Accuracy {
 	_, sp := obs.Start(ctx, "core.accuracy")
 	defer sp.End()
 	sp.SetAttr("db", db.Name())
 	sp.SetItems(int64(len(targets)))
-	prefetchTargets(db, targets)
+	workers := workersFor(len(targets))
+	sp.SetAttr("workers", workers)
+	parts := make([]Accuracy, workers)
+	runChunks(len(targets), workers, func(ci, lo, hi int) {
+		chunk := targets[lo:hi]
+		prefetchTargets(db, chunk)
+		parts[ci] = accuracyChunk(geodb.LookupFunc(db), chunk)
+	})
+	return mergeAccuracy(parts)
+}
+
+// accuracyChunk is the serial scoring loop over one chunk.
+func accuracyChunk(lookup func(ipx.Addr) (geodb.Record, bool), targets []Target) Accuracy {
 	acc := Accuracy{Total: len(targets), ErrorCDF: &stats.ECDF{}}
 	for _, t := range targets {
-		rec, ok := db.Lookup(t.Addr)
+		rec, ok := lookup(t.Addr)
 		if !ok {
 			continue
 		}
@@ -183,17 +217,31 @@ func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) A
 	return acc
 }
 
+// mergeAccuracy folds per-worker partials, in chunk order, into one
+// Accuracy. Counter sums are order-free; the per-worker CDFs are merged
+// without re-sorting.
+func mergeAccuracy(parts []Accuracy) Accuracy {
+	var out Accuracy
+	cdfs := make([]*stats.ECDF, len(parts))
+	for i, p := range parts {
+		out.Total += p.Total
+		out.CountryAnswered += p.CountryAnswered
+		out.CountryCorrect += p.CountryCorrect
+		out.CityAnswered += p.CityAnswered
+		out.Within40Km += p.Within40Km
+		cdfs[i] = p.ErrorCDF
+	}
+	out.ErrorCDF = stats.Merge(cdfs...)
+	return out
+}
+
 // AccuracyByRIR breaks targets down by registry (Figures 3 and 5).
 func AccuracyByRIR(ctx context.Context, db geodb.Provider, targets []Target) map[geo.RIR]Accuracy {
 	grouped := map[geo.RIR][]Target{}
 	for _, t := range targets {
 		grouped[t.RIR] = append(grouped[t.RIR], t)
 	}
-	out := make(map[geo.RIR]Accuracy, len(grouped))
-	for rir, ts := range grouped {
-		out[rir] = MeasureAccuracy(ctx, db, ts)
-	}
-	return out
+	return accuracyByGroup(ctx, db, grouped)
 }
 
 // AccuracyByCountry breaks targets down by true country (Figure 4).
@@ -202,11 +250,7 @@ func AccuracyByCountry(ctx context.Context, db geodb.Provider, targets []Target)
 	for _, t := range targets {
 		grouped[t.Country] = append(grouped[t.Country], t)
 	}
-	out := make(map[string]Accuracy, len(grouped))
-	for cc, ts := range grouped {
-		out[cc] = MeasureAccuracy(ctx, db, ts)
-	}
-	return out
+	return accuracyByGroup(ctx, db, grouped)
 }
 
 // AccuracyByMethod splits targets by ground-truth method (§5.2.4).
@@ -215,9 +259,42 @@ func AccuracyByMethod(ctx context.Context, db geodb.Provider, targets []Target) 
 	for _, t := range targets {
 		grouped[t.Method] = append(grouped[t.Method], t)
 	}
-	out := make(map[groundtruth.Method]Accuracy, len(grouped))
-	for m, ts := range grouped {
-		out[m] = MeasureAccuracy(ctx, db, ts)
+	return accuracyByGroup(ctx, db, grouped)
+}
+
+// accuracyByGroup measures independent target groups, concurrently when
+// the engine is parallel: many small groups (per-country slices) spread
+// across workers, while a dominant group still fans out inside its own
+// MeasureAccuracy call. Group results are independent, so the map is
+// identical to the serial loop's.
+func accuracyByGroup[K comparable](ctx context.Context, db geodb.Provider, grouped map[K][]Target) map[K]Accuracy {
+	out := make(map[K]Accuracy, len(grouped))
+	workers := Parallelism()
+	if workers <= 1 || len(grouped) <= 1 {
+		for k, ts := range grouped {
+			out[k] = MeasureAccuracy(ctx, db, ts)
+		}
+		return out
+	}
+	keys := make([]K, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	results := make([]Accuracy, len(keys))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(keys))
+	for i, k := range keys {
+		go func(i int, ts []Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = MeasureAccuracy(ctx, db, ts)
+		}(i, grouped[k])
+	}
+	wg.Wait()
+	for i, k := range keys {
+		out[k] = results[i]
 	}
 	return out
 }
@@ -255,38 +332,58 @@ func TopCountries(targets []Target, n int) []string {
 // country* — the paper's observation that IP2Location and both MaxMinds
 // share roughly two thirds of their wrong answers (Figure 4 discussion).
 func SharedIncorrect(dbs []geodb.Provider, targets []Target) (shared int, wrongPerDB []int) {
-	wrongPerDB = make([]int, len(dbs))
-	for _, t := range targets {
-		answers := make([]string, len(dbs))
-		allSameWrong := true
+	workers := workersFor(len(targets))
+	type partial struct {
+		shared int
+		wrong  []int
+	}
+	parts := make([]partial, workers)
+	runChunks(len(targets), workers, func(ci, lo, hi int) {
+		p := partial{wrong: make([]int, len(dbs))}
+		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
 		for i, db := range dbs {
-			rec, ok := db.Lookup(t.Addr)
-			if !ok || !rec.HasCountry() {
-				allSameWrong = false
-				answers[i] = ""
+			lookups[i] = geodb.LookupFunc(db)
+		}
+		answers := make([]string, len(dbs))
+		for _, t := range targets[lo:hi] {
+			allSameWrong := true
+			for i, lookup := range lookups {
+				rec, ok := lookup(t.Addr)
+				if !ok || !rec.HasCountry() {
+					allSameWrong = false
+					answers[i] = ""
+					continue
+				}
+				answers[i] = rec.Country
+				if rec.Country != t.Country {
+					p.wrong[i]++
+				}
+			}
+			if !allSameWrong {
 				continue
 			}
-			answers[i] = rec.Country
-			if rec.Country != t.Country {
-				wrongPerDB[i]++
+			first := answers[0]
+			if first == t.Country {
+				continue
+			}
+			same := true
+			for _, a := range answers[1:] {
+				if a != first {
+					same = false
+					break
+				}
+			}
+			if same {
+				p.shared++
 			}
 		}
-		if !allSameWrong {
-			continue
-		}
-		first := answers[0]
-		if first == t.Country {
-			continue
-		}
-		same := true
-		for _, a := range answers[1:] {
-			if a != first {
-				same = false
-				break
-			}
-		}
-		if same {
-			shared++
+		parts[ci] = p
+	})
+	wrongPerDB = make([]int, len(dbs))
+	for _, p := range parts {
+		shared += p.shared
+		for i, n := range p.wrong {
+			wrongPerDB[i] += n
 		}
 	}
 	return shared, wrongPerDB

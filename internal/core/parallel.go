@@ -1,0 +1,89 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel measurement engine. Every measurement in this package is
+// embarrassingly parallel — no cross-address state — so each one runs as
+// a chunked map-reduce: the input slice is split into one contiguous
+// chunk per worker, each worker accumulates into a private partial
+// (counters plus raw ECDF samples) using its own per-goroutine lookup
+// finder, and the partials are merged in chunk order. Merging in chunk
+// order makes the result identical to the serial loop's, whatever the
+// goroutine schedule; the single-worker case degenerates to the plain
+// serial loop with no goroutines spawned, and doubles as the oracle the
+// equality tests compare against.
+
+// parallelismSetting holds the configured worker count; <= 0 means "use
+// GOMAXPROCS".
+var parallelismSetting atomic.Int64
+
+// SetParallelism fixes the engine's worker count. n <= 0 restores the
+// default of GOMAXPROCS; n == 1 forces the serial path everywhere. The
+// cmd binaries wire their -parallelism flag here.
+func SetParallelism(n int) { parallelismSetting.Store(int64(n)) }
+
+// Parallelism returns the resolved worker count the engine will use for
+// large inputs.
+func Parallelism() int {
+	if n := parallelismSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// serialCutoff is the input size below which measurements take the
+// serial fast path regardless of Parallelism: goroutine startup costs
+// more than scanning a few thousand addresses. A variable so the
+// equality tests can force tiny inputs through the parallel path.
+var serialCutoff = 1 << 13
+
+// workersFor resolves how many workers an input of n items gets.
+func workersFor(n int) int {
+	w := Parallelism()
+	if w <= 1 || n < serialCutoff {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// chunkBounds splits [0, n) into workers contiguous chunks whose sizes
+// differ by at most one, in index order.
+func chunkBounds(n, workers int) [][2]int {
+	out := make([][2]int, 0, workers)
+	lo := 0
+	for i := 0; i < workers; i++ {
+		hi := lo + (n-lo)/(workers-i)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// runChunks executes process once per chunk, on the caller's goroutine
+// when workers == 1 and on one goroutine per chunk otherwise, and waits
+// for all of them. process receives the chunk index and its [lo, hi)
+// bounds; callers store partials by chunk index, which keeps every merge
+// order-deterministic.
+func runChunks(n, workers int, process func(ci, lo, hi int)) {
+	if workers <= 1 {
+		process(0, 0, n)
+		return
+	}
+	bounds := chunkBounds(n, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(bounds))
+	for ci, b := range bounds {
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			process(ci, lo, hi)
+		}(ci, b[0], b[1])
+	}
+	wg.Wait()
+}

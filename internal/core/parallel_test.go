@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/groundtruth"
+	"routergeo/internal/ipx"
+	"routergeo/internal/stats"
+)
+
+// forceParallel drops the serial cutoff and pins the worker count so
+// even tiny inputs exercise the chunked path, restoring both on cleanup.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	oldCutoff := serialCutoff
+	serialCutoff = 1
+	SetParallelism(workers)
+	t.Cleanup(func() {
+		serialCutoff = oldCutoff
+		SetParallelism(0)
+	})
+}
+
+// synthDB builds a deterministic database: /24s across 10.0.0.0/8 cycle
+// through city, country-only, and missing records, with coordinates
+// drifting so distances vary.
+func synthDB(t testing.TB, name string, seed int64) *geodb.DB {
+	b := geodb.NewBuilder(name)
+	rng := rand.New(rand.NewSource(seed))
+	countries := []string{"US", "DE", "FR", "BR", "JP"}
+	for i := 0; i < 700; i++ {
+		p := ipx.Prefix{Base: ipx.Addr(10<<24 | i<<8), Bits: 24}
+		switch i % 3 {
+		case 0:
+			cc := countries[rng.Intn(len(countries))]
+			coord := geo.Coordinate{Lat: -60 + rng.Float64()*120, Lon: -170 + rng.Float64()*340}
+			b.AddPrefix(0, p, geodb.Record{
+				Country: cc, City: fmt.Sprintf("city-%d", i), Coord: coord,
+				Resolution: geodb.ResolutionCity,
+			})
+		case 1:
+			b.AddPrefix(0, p, geodb.Record{
+				Country:    countries[rng.Intn(len(countries))],
+				Resolution: geodb.ResolutionCountry,
+			})
+		}
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// synthInputs returns a deterministic address sweep and target list over
+// the synthetic databases' address space, misses included.
+func synthInputs(n int) ([]ipx.Addr, []Target) {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]ipx.Addr, n)
+	targets := make([]Target, n)
+	countries := []string{"US", "DE", "FR", "BR", "JP"}
+	rirs := []geo.RIR{geo.ARIN, geo.RIPENCC, geo.APNIC, geo.LACNIC, geo.AFRINIC}
+	methods := []groundtruth.Method{groundtruth.DNS, groundtruth.RTT}
+	for i := range addrs {
+		a := ipx.Addr(10<<24 | rng.Intn(900)<<8 | rng.Intn(256))
+		addrs[i] = a
+		targets[i] = Target{
+			Addr:    a,
+			Truth:   geo.Coordinate{Lat: -60 + rng.Float64()*120, Lon: -170 + rng.Float64()*340},
+			Country: countries[rng.Intn(len(countries))],
+			RIR:     rirs[rng.Intn(len(rirs))],
+			Method:  methods[rng.Intn(len(methods))],
+		}
+	}
+	return addrs, targets
+}
+
+func sameAccuracy(t *testing.T, label string, want, got Accuracy) {
+	t.Helper()
+	if want.Total != got.Total || want.CountryAnswered != got.CountryAnswered ||
+		want.CountryCorrect != got.CountryCorrect || want.CityAnswered != got.CityAnswered ||
+		want.Within40Km != got.Within40Km {
+		t.Errorf("%s: counters diverge: serial %+v parallel %+v", label, want, got)
+	}
+	samePoints(t, label, want.ErrorCDF, got.ErrorCDF)
+}
+
+func samePoints(t *testing.T, label string, want, got *stats.ECDF) {
+	t.Helper()
+	ws, gs := want.Points(), got.Points()
+	if len(ws) != len(gs) {
+		t.Fatalf("%s: CDF has %d samples serial, %d parallel", label, len(ws), len(gs))
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("%s: CDF point %d: serial %v parallel %v", label, i, ws[i], gs[i])
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	dbA := synthDB(t, "a", 1)
+	dbB := synthDB(t, "b", 2)
+	dbC := synthDB(t, "c", 3)
+	providers := []geodb.Provider{dbA, dbB, dbC}
+	addrs, targets := synthInputs(5000)
+
+	// Serial oracle first.
+	SetParallelism(1)
+	covS := MeasureCoverage(ctx, dbA, addrs)
+	accS := MeasureAccuracy(ctx, dbA, targets)
+	byRIRS := AccuracyByRIR(ctx, dbA, targets)
+	byCCS := AccuracyByCountry(ctx, dbA, targets)
+	byMS := AccuracyByMethod(ctx, dbA, targets)
+	agreeS, bothS := CountryAgreement(ctx, dbA, dbB, addrs)
+	allS, totalS := CountryAgreementAll(ctx, providers, addrs)
+	pairS := MeasurePairwiseCity(ctx, dbA, dbB, addrs)
+	cityS := CityAnsweredInAll(ctx, providers, addrs)
+	sharedS, wrongS := SharedIncorrect(providers, targets)
+
+	for _, workers := range []int{2, 3, 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			forceParallel(t, workers)
+
+			if covP := MeasureCoverage(ctx, dbA, addrs); covP != covS {
+				t.Errorf("coverage: serial %+v parallel %+v", covS, covP)
+			}
+			sameAccuracy(t, "accuracy", accS, MeasureAccuracy(ctx, dbA, targets))
+
+			byRIRP := AccuracyByRIR(ctx, dbA, targets)
+			if len(byRIRP) != len(byRIRS) {
+				t.Fatalf("byRIR sizes: %d vs %d", len(byRIRS), len(byRIRP))
+			}
+			for k, want := range byRIRS {
+				sameAccuracy(t, "byRIR["+k.String()+"]", want, byRIRP[k])
+			}
+			byCCP := AccuracyByCountry(ctx, dbA, targets)
+			if len(byCCP) != len(byCCS) {
+				t.Fatalf("byCountry sizes: %d vs %d", len(byCCS), len(byCCP))
+			}
+			for k, want := range byCCS {
+				sameAccuracy(t, "byCountry["+k+"]", want, byCCP[k])
+			}
+			byMP := AccuracyByMethod(ctx, dbA, targets)
+			for k, want := range byMS {
+				sameAccuracy(t, "byMethod", want, byMP[k])
+			}
+
+			if agreeP, bothP := CountryAgreement(ctx, dbA, dbB, addrs); agreeP != agreeS || bothP != bothS {
+				t.Errorf("agreement: serial %d/%d parallel %d/%d", agreeS, bothS, agreeP, bothP)
+			}
+			if allP, totalP := CountryAgreementAll(ctx, providers, addrs); allP != allS || totalP != totalS {
+				t.Errorf("agreement-all: serial %d/%d parallel %d/%d", allS, totalS, allP, totalP)
+			}
+
+			pairP := MeasurePairwiseCity(ctx, dbA, dbB, addrs)
+			if pairP.Both != pairS.Both || pairP.Identical != pairS.Identical || pairP.Over40Km != pairS.Over40Km {
+				t.Errorf("pairwise: serial %+v parallel %+v", pairS, pairP)
+			}
+			samePoints(t, "pairwise CDF", pairS.CDF, pairP.CDF)
+
+			cityP := CityAnsweredInAll(ctx, providers, addrs)
+			if len(cityP) != len(cityS) {
+				t.Fatalf("city-in-all: %d vs %d survivors", len(cityS), len(cityP))
+			}
+			for i := range cityS {
+				if cityP[i] != cityS[i] {
+					t.Fatalf("city-in-all order diverges at %d: %v vs %v", i, cityS[i], cityP[i])
+				}
+			}
+
+			sharedP, wrongP := SharedIncorrect(providers, targets)
+			if sharedP != sharedS {
+				t.Errorf("shared-incorrect: serial %d parallel %d", sharedS, sharedP)
+			}
+			for i := range wrongS {
+				if wrongP[i] != wrongS[i] {
+					t.Errorf("wrongPerDB[%d]: serial %d parallel %d", i, wrongS[i], wrongP[i])
+				}
+			}
+		})
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 1}, {1, 1}, {5, 2}, {10, 3}, {8192, 7}, {100, 100},
+	} {
+		bounds := chunkBounds(tc.n, tc.workers)
+		if len(bounds) != tc.workers {
+			t.Fatalf("chunkBounds(%d,%d) yields %d chunks", tc.n, tc.workers, len(bounds))
+		}
+		prev, minSz, maxSz := 0, tc.n, 0
+		for _, b := range bounds {
+			if b[0] != prev {
+				t.Fatalf("chunkBounds(%d,%d): gap before %v", tc.n, tc.workers, b)
+			}
+			prev = b[1]
+			if sz := b[1] - b[0]; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if prev != tc.n {
+			t.Fatalf("chunkBounds(%d,%d) ends at %d", tc.n, tc.workers, prev)
+		}
+		if tc.n >= tc.workers && maxSz-minSz > 1 {
+			t.Errorf("chunkBounds(%d,%d): uneven chunks (%d..%d)", tc.n, tc.workers, minSz, maxSz)
+		}
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	SetParallelism(8)
+	defer SetParallelism(0)
+	if w := workersFor(10); w != 1 {
+		t.Errorf("small input got %d workers", w)
+	}
+	if w := workersFor(serialCutoff); w != 8 {
+		t.Errorf("large input got %d workers, want 8", w)
+	}
+	SetParallelism(1)
+	if w := workersFor(1 << 20); w != 1 {
+		t.Errorf("parallelism=1 got %d workers", w)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"routergeo/internal/core"
 	"routergeo/internal/geo"
 )
 
@@ -346,5 +347,38 @@ func TestStabilityReport(t *testing.T) {
 	}
 	if strings.Count(out, "\n") < 6 {
 		t.Errorf("stability output too short:\n%s", out)
+	}
+}
+
+// TestRunAllConcurrentMatchesSequential pins the determinism guarantee:
+// with the engine parallel, RunAll buffers per-experiment output and
+// emits it in registry order, so the stream is byte-identical to a
+// one-worker run.
+func TestRunAllConcurrentMatchesSequential(t *testing.T) {
+	env := testEnv(t)
+	ctx := context.Background()
+
+	core.SetParallelism(1)
+	var serial bytes.Buffer
+	if err := RunAll(ctx, &serial, env); err != nil {
+		t.Fatal(err)
+	}
+
+	core.SetParallelism(4)
+	defer core.SetParallelism(0)
+	var parallel bytes.Buffer
+	if err := RunAll(ctx, &parallel, env); err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.String() != parallel.String() {
+		// Find the first diverging line for a readable failure.
+		sl, pl := strings.Split(serial.String(), "\n"), strings.Split(parallel.String(), "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Fatalf("outputs diverge at line %d:\n  serial:   %q\n  parallel: %q", i, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", serial.Len(), parallel.Len())
 	}
 }

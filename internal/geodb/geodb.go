@@ -77,17 +77,45 @@ type Provider interface {
 	Lookup(a ipx.Addr) (Record, bool)
 }
 
-// DB is an immutable sorted-range geolocation database.
+// Finderer is implemented by providers that can mint cheap per-goroutine
+// lookup functions. The returned function answers exactly like Lookup
+// but may carry single-goroutine state (a locality cache), so each
+// worker in a parallel sweep must call Finder for its own copy and never
+// share one across goroutines.
+type Finderer interface {
+	Finder() func(a ipx.Addr) (Record, bool)
+}
+
+// LookupFunc returns the cheapest per-goroutine lookup function db
+// offers: a private Finder when the provider mints them, the shared
+// Lookup method otherwise.
+func LookupFunc(db Provider) func(a ipx.Addr) (Record, bool) {
+	if f, ok := db.(Finderer); ok {
+		return f.Finder()
+	}
+	return db.Lookup
+}
+
+// DB is an immutable sorted-range geolocation database. Queries are
+// served from a flat structure-of-arrays index with a /16 jump table;
+// the layered range map survives only as the build-time representation.
 type DB struct {
 	name string
 	m    ipx.RangeMap[Record]
+	idx  *ipx.FlatIndex[Record]
 }
 
 // Name implements Provider.
 func (d *DB) Name() string { return d.name }
 
 // Lookup implements Provider.
-func (d *DB) Lookup(a ipx.Addr) (Record, bool) { return d.m.Lookup(a) }
+func (d *DB) Lookup(a ipx.Addr) (Record, bool) { return d.idx.Lookup(a) }
+
+// Finder implements Finderer: the returned function is a private
+// last-hit-caching view of the index for one goroutine.
+func (d *DB) Finder() func(a ipx.Addr) (Record, bool) {
+	return d.idx.NewFinder().Lookup
+}
 
 // Len returns the number of range entries.
 func (d *DB) Len() int { return d.m.Len() }
@@ -159,6 +187,7 @@ func (b *Builder) Build() (*DB, error) {
 	if err := db.m.Build(); err != nil {
 		return nil, fmt.Errorf("geodb: %s: %w", b.name, err)
 	}
+	db.idx = ipx.NewFlatIndex(&db.m)
 	return db, nil
 }
 

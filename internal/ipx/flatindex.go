@@ -1,0 +1,114 @@
+package ipx
+
+// FlatIndex is an immutable, cache-friendly view of a built RangeMap:
+// the interval bounds live in two parallel slices (structure-of-arrays,
+// so a binary search touches only the 4-byte lower bounds, not whole
+// records), and a /16 jump table narrows every search to the handful of
+// intervals that can cover the address's top half. Lookup is safe for
+// concurrent use; for single-goroutine loops with address locality,
+// NewFinder returns an even cheaper accessor.
+type FlatIndex[V any] struct {
+	los  []Addr
+	his  []Addr
+	vals []V
+	// jump[k] is the index of the first interval with Lo >= k<<16, for
+	// k in [0, 65536]; jump[65536] == len(los). An address a is covered,
+	// if at all, by the interval just before the first Lo > a, and that
+	// boundary always falls inside [jump[a>>16], jump[a>>16+1]].
+	jump []int32
+}
+
+// NewFlatIndex flattens a built RangeMap. It panics if m has not been
+// built, mirroring RangeMap.Lookup.
+func NewFlatIndex[V any](m *RangeMap[V]) *FlatIndex[V] {
+	if !m.built {
+		panic("ipx: NewFlatIndex before Build")
+	}
+	x := &FlatIndex[V]{
+		los:  make([]Addr, len(m.ranges)),
+		his:  make([]Addr, len(m.ranges)),
+		vals: make([]V, len(m.ranges)),
+		jump: make([]int32, 1<<16+1),
+	}
+	for i, r := range m.ranges {
+		x.los[i] = r.Lo
+		x.his[i] = r.Hi
+		x.vals[i] = m.values[i]
+	}
+	// One pass over the sorted lower bounds fills the jump table: walk
+	// the /16 buckets and record where each bucket's intervals start.
+	k := 0
+	for i, lo := range x.los {
+		for k <= int(lo>>16) {
+			x.jump[k] = int32(i)
+			k++
+		}
+	}
+	for ; k <= 1<<16; k++ {
+		x.jump[k] = int32(len(x.los))
+	}
+	return x
+}
+
+// Len returns the number of intervals.
+func (x *FlatIndex[V]) Len() int { return len(x.los) }
+
+// find returns the index of the interval covering a, if any.
+func (x *FlatIndex[V]) find(a Addr) (int, bool) {
+	hi := a >> 16
+	lo, up := int(x.jump[hi]), int(x.jump[hi+1])
+	// Binary search inside the bucket window for the first Lo > a.
+	for lo < up {
+		mid := int(uint(lo+up) >> 1)
+		if x.los[mid] > a {
+			up = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	if x.his[lo-1] >= a { // los[lo-1] <= a by construction
+		return lo - 1, true
+	}
+	return 0, false
+}
+
+// Lookup returns the value covering a. It is equivalent to the source
+// RangeMap's Lookup and safe for concurrent use.
+func (x *FlatIndex[V]) Lookup(a Addr) (V, bool) {
+	if i, ok := x.find(a); ok {
+		return x.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Finder is a single-goroutine accessor over a FlatIndex carrying a
+// last-hit cache: consecutive addresses in the same interval (traceroute
+// hops cluster in prefixes, sweeps walk address order) skip the search
+// entirely. Mint one per worker goroutine; the methods are NOT safe for
+// concurrent use. Finders sharing one FlatIndex are independent.
+type Finder[V any] struct {
+	idx  *FlatIndex[V]
+	last int // index of the last hit, -1 before any
+}
+
+// NewFinder returns a fresh Finder over x.
+func (x *FlatIndex[V]) NewFinder() *Finder[V] { return &Finder[V]{idx: x, last: -1} }
+
+// Lookup returns the value covering a, consulting the last-hit interval
+// before searching.
+func (f *Finder[V]) Lookup(a Addr) (V, bool) {
+	if l := f.last; l >= 0 && f.idx.los[l] <= a && a <= f.idx.his[l] {
+		return f.idx.vals[l], true
+	}
+	i, ok := f.idx.find(a)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	f.last = i
+	return f.idx.vals[i], true
+}

@@ -1,6 +1,9 @@
 package ipx
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 // FuzzParseAddr checks the address parser never panics and that accepted
 // inputs round-trip through String.
@@ -51,5 +54,63 @@ func FuzzParsePrefix(f *testing.F) {
 		if err != nil || back != p {
 			t.Fatalf("round trip broke: %q -> %v", s, p)
 		}
+	})
+}
+
+// FuzzFlatIndexEquivalence decodes the fuzz input as a range set plus
+// probe addresses and checks that FlatIndex and Finder lookups agree
+// with RangeMap.Lookup on every probe. Overlapping draws are dropped
+// rather than rejected so almost any input exercises the index.
+func FuzzFlatIndexEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{
+		10, 0, 0, 0, 10, 0, 255, 255, // 10.0/16
+		10, 1, 0, 0, 10, 1, 0, 0, // single address
+		10, 0, 0, 5, 10, 2, 0, 0, // probes
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &RangeMap[uint32]{}
+		var hi Addr // highest endpoint placed so far, keeps draws disjoint
+		placed := false
+		i := 0
+		for ; i+8 <= len(data) && m.Len() < 1<<12; i += 8 {
+			lo := Addr(binary.BigEndian.Uint32(data[i:]))
+			hiR := Addr(binary.BigEndian.Uint32(data[i+4:]))
+			if lo > hiR {
+				lo, hiR = hiR, lo
+			}
+			if placed && lo <= hi {
+				continue
+			}
+			m.Add(Range{Lo: lo, Hi: hiR}, uint32(i))
+			hi, placed = hiR, true
+		}
+		if err := m.Build(); err != nil {
+			t.Fatalf("disjoint construction still overlapped: %v", err)
+		}
+		x := NewFlatIndex(m)
+		fd := x.NewFinder()
+		check := func(a Addr) {
+			wantV, wantOK := m.Lookup(a)
+			if gotV, gotOK := x.Lookup(a); gotV != wantV || gotOK != wantOK {
+				t.Fatalf("FlatIndex.Lookup(%v) = %v,%v want %v,%v", a, gotV, gotOK, wantV, wantOK)
+			}
+			if gotV, gotOK := fd.Lookup(a); gotV != wantV || gotOK != wantOK {
+				t.Fatalf("Finder.Lookup(%v) = %v,%v want %v,%v", a, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		// Remaining bytes are probes; boundaries of every range too.
+		for ; i+4 <= len(data); i += 4 {
+			check(Addr(binary.BigEndian.Uint32(data[i:])))
+		}
+		m.Walk(func(r Range, _ uint32) bool {
+			check(r.Lo)
+			check(r.Hi)
+			check(r.Lo - 1)
+			check(r.Hi + 1)
+			return true
+		})
 	})
 }

@@ -14,8 +14,13 @@ const ProgressThreshold = 100_000
 const defaultProgressInterval = 2 * time.Second
 
 // Progress emits rate-limited slog progress lines (with throughput and
-// ETA) for a long loop. Add is safe to call from concurrent workers and
-// costs one atomic add plus a time read when no line is due.
+// ETA) for a long loop. Add and Finish are safe to call from concurrent
+// worker goroutines: the item count and the last-emit timestamp are
+// atomics (a CAS elects the one goroutine that emits each line), and
+// every other field is written once in NewProgress before the reporter
+// is shared. Add costs one atomic add plus a time read when no line is
+// due, so the parallel measurement engine shares a single reporter
+// across all of a sweep's workers.
 type Progress struct {
 	stage    string
 	total    int64

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -34,7 +35,7 @@ func (e *ECDF) N() int { return len(e.xs) }
 
 func (e *ECDF) ensure() {
 	if !e.sorted {
-		sort.Float64s(e.xs)
+		slices.Sort(e.xs)
 		e.sorted = true
 	}
 }
@@ -66,10 +67,44 @@ func (e *ECDF) Quantile(q float64) float64 {
 // Median returns the 0.5 quantile.
 func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
 
-// Max returns the largest sample.
+// Max returns the largest sample. Like Quantile it panics on an empty
+// CDF, with a message naming the misuse instead of a raw index error.
 func (e *ECDF) Max() float64 {
+	if len(e.xs) == 0 {
+		panic("stats: Max over 0 samples")
+	}
 	e.ensure()
 	return e.xs[len(e.xs)-1]
+}
+
+// Merge combines already-queryable CDFs into one by k-way merging their
+// sorted samples, skipping the O(n log n) re-sort a naive AddAll would
+// pay. The parallel measurement engine uses it to fold per-worker CDFs;
+// the inputs are sorted as a side effect (as any query would) but not
+// otherwise modified. Merge of no inputs returns an empty CDF.
+func Merge(cdfs ...*ECDF) *ECDF {
+	total := 0
+	for _, c := range cdfs {
+		c.ensure()
+		total += len(c.xs)
+	}
+	out := make([]float64, 0, total)
+	heads := make([]int, len(cdfs))
+	for len(out) < total {
+		best := -1
+		var bv float64
+		for i, c := range cdfs {
+			if heads[i] >= len(c.xs) {
+				continue
+			}
+			if best < 0 || c.xs[heads[i]] < bv {
+				best, bv = i, c.xs[heads[i]]
+			}
+		}
+		out = append(out, bv)
+		heads[best]++
+	}
+	return &ECDF{xs: out, sorted: true}
 }
 
 // Points returns the sorted samples. Plot exporters turn them into
