@@ -1,11 +1,13 @@
 # Pre-PR gate: everything CI would run. `make check` must be green
-# before any change goes up for review.
+# before any change goes up for review. That includes `make lint` —
+# cmd/geolint, the project's own static analyzers over ./cmd/... and
+# ./internal/... (see the "Static analysis" section of README.md).
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-compare
+.PHONY: check vet fmt lint build test race bench bench-compare
 
-check: vet fmt build race
+check: vet fmt lint build race
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +19,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# geolint mechanically enforces the engine's invariants (determinism,
+# map-iteration order on output paths, context threading, stdlib-only
+# imports, layering, slog conventions). Nonzero exit on any finding.
+lint:
+	$(GO) run ./cmd/geolint ./cmd/... ./internal/...
+
 build:
 	$(GO) build ./...
 
@@ -25,10 +33,12 @@ test:
 
 # The concurrency-heavy packages race first and fast — obs (atomics and
 # locks), core (the parallel measurement engine) and ipx (the shared
-# lookup index) — then the rest of the tree.
+# lookup index) — then everything else exactly once.
+RACE_FIRST = ./internal/obs/... ./internal/core/... ./internal/ipx/...
+
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/ipx/...
-	$(GO) test -race ./...
+	$(GO) test -race $(RACE_FIRST)
+	$(GO) test -race $$($(GO) list ./... | grep -v -E '^routergeo/internal/(obs|core|ipx)$$')
 
 # Measurement-engine benchmarks: sweep throughput serial vs parallel,
 # plus the lookup index and ECDF machinery under it. Teed into

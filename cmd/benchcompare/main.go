@@ -7,16 +7,22 @@
 //	benchcompare -old BENCH_core.json -new BENCH_core.new.json [-threshold 1.30]
 //
 // Benchmarks are matched by name with the -GOMAXPROCS suffix stripped,
-// so runs from machines with different core counts still compare.
-// A ratio (new ns/op ÷ old ns/op) above the threshold is a regression;
+// so runs from machines with different core counts still compare. A
+// ratio (new ns/op ÷ old ns/op) above the threshold is a regression;
 // benchmarks present in only one file are reported but never fail the
 // gate, since adding or retiring a benchmark is not a slowdown.
+//
+// Malformed inputs fail loudly instead of silently passing the gate: a
+// Benchmark line without a parseable ns/op value, two results mapping
+// to the same name (a -cpu list or -count>1 run), and a file with no
+// benchmark results at all are each hard errors with file:line context.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -29,32 +35,38 @@ type result struct {
 	bytesPerOp  float64
 	allocsPerOp float64
 	hasMem      bool
+	line        int
 }
 
-// parse reads every "Benchmark..." line of a bench output file.
-func parse(path string) (map[string]result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends
+// to benchmark names.
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
 	}
-	defer f.Close()
+	return name
+}
+
+// parseBench reads every "Benchmark..." line of a bench output stream.
+// src names the input in errors.
+func parseBench(r io.Reader, src string) (map[string]result, error) {
 	out := map[string]result{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := fields[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
+		name := normalizeName(fields[0])
 		var r result
+		r.line = lineNo
 		ok := false
-		for i := 2; i+1 < len(fields); i++ {
+		for i := 1; i+1 < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
@@ -68,11 +80,77 @@ func parse(path string) (map[string]result, error) {
 				r.allocsPerOp = v
 			}
 		}
-		if ok {
-			out[name] = r
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed benchmark line %q: no parseable ns/op value", src, lineNo, fields[0])
+		}
+		if prev, dup := out[name]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate benchmark %q (first at line %d): runs with a -cpu list or -count>1 are ambiguous, re-run with one CPU count and -count=1", src, lineNo, name, prev.line)
+		}
+		out[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found; the bench run likely failed before producing output", src)
+	}
+	return out, nil
+}
+
+// parseFile opens and parses one bench output file.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f, path)
+}
+
+// compare prints the old/new table to w and returns the regressions
+// past threshold. Benchmarks present in only one input are reported in
+// the table ("gone" / added count) but are never regressions.
+func compare(oldR, newR map[string]result, threshold float64, w io.Writer) []string {
+	names := make([]string, 0, len(oldR))
+	for name := range oldR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o := oldR[name]
+		n, ok := newR[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14.1f %14s %8s\n", name, o.nsPerOp, "gone", "-")
+			continue
+		}
+		ratio := 0.0
+		if o.nsPerOp > 0 {
+			ratio = n.nsPerOp / o.nsPerOp
+		}
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%.2fx > %.2fx)",
+				name, o.nsPerOp, n.nsPerOp, ratio, threshold))
+		}
+		fmt.Fprintf(w, "%-60s %14.1f %14.1f %7.2fx%s\n", name, o.nsPerOp, n.nsPerOp, ratio, mark)
+		if o.hasMem && n.hasMem && n.allocsPerOp > o.allocsPerOp {
+			fmt.Fprintf(w, "%-60s %14s allocs/op %.0f -> %.0f\n", "  ^ note:", "", o.allocsPerOp, n.allocsPerOp)
 		}
 	}
-	return out, sc.Err()
+	added := 0
+	for name := range newR {
+		if _, ok := oldR[name]; !ok {
+			added++
+		}
+	}
+	if added > 0 {
+		fmt.Fprintf(w, "(%d benchmark(s) only in the new run)\n", added)
+	}
+	return regressions
 }
 
 func main() {
@@ -86,57 +164,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
 		os.Exit(2)
 	}
-	oldR, err := parse(*oldPath)
+	oldR, err := parseFile(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
 	}
-	newR, err := parse(*newPath)
+	newR, err := parseFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(oldR))
-	for name := range oldR {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var regressions []string
-	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
-	for _, name := range names {
-		o := oldR[name]
-		n, ok := newR[name]
-		if !ok {
-			fmt.Printf("%-60s %14.1f %14s %8s\n", name, o.nsPerOp, "gone", "-")
-			continue
-		}
-		ratio := 0.0
-		if o.nsPerOp > 0 {
-			ratio = n.nsPerOp / o.nsPerOp
-		}
-		mark := ""
-		if ratio > *threshold {
-			mark = "  REGRESSED"
-			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%.2fx > %.2fx)",
-				name, o.nsPerOp, n.nsPerOp, ratio, *threshold))
-		}
-		fmt.Printf("%-60s %14.1f %14.1f %7.2fx%s\n", name, o.nsPerOp, n.nsPerOp, ratio, mark)
-		if o.hasMem && n.hasMem && n.allocsPerOp > o.allocsPerOp {
-			fmt.Printf("%-60s %14s allocs/op %.0f -> %.0f\n", "  ^ note:", "", o.allocsPerOp, n.allocsPerOp)
-		}
-	}
-	added := 0
-	for name := range newR {
-		if _, ok := oldR[name]; !ok {
-			added++
-		}
-	}
-	if added > 0 {
-		fmt.Printf("(%d benchmark(s) only in the new run)\n", added)
-	}
-
+	regressions := compare(oldR, newR, *threshold, os.Stdout)
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d regression(s) past %.2fx:\n", len(regressions), *threshold)
 		for _, r := range regressions {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodOld = `goos: linux
+goarch: amd64
+pkg: routergeo/internal/core
+BenchmarkCoverage-8        	    1000	    100.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkAccuracy-8        	    2000	    200.0 ns/op
+BenchmarkRetired-8         	    1000	     50.0 ns/op
+PASS
+`
+
+const goodNew = `BenchmarkCoverage-16       	    1000	    120.0 ns/op	      16 B/op	       4 allocs/op
+BenchmarkAccuracy-16       	    2000	    900.0 ns/op
+BenchmarkBrandNew-16       	    5000	     10.0 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	r, err := parseBench(strings.NewReader(goodOld), "old")
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(r) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(r), r)
+	}
+	cov := r["BenchmarkCoverage"]
+	if cov.nsPerOp != 100 || !cov.hasMem || cov.bytesPerOp != 16 || cov.allocsPerOp != 2 {
+		t.Fatalf("BenchmarkCoverage parsed wrong: %+v", cov)
+	}
+	if acc := r["BenchmarkAccuracy"]; acc.nsPerOp != 200 || acc.hasMem {
+		t.Fatalf("BenchmarkAccuracy parsed wrong: %+v", acc)
+	}
+}
+
+func TestParseBenchMalformedLine(t *testing.T) {
+	in := "BenchmarkCoverage-8 1000 100.0 ns/op\nBenchmarkBroken-8\t--- FAIL\n"
+	_, err := parseBench(strings.NewReader(in), "old")
+	if err == nil {
+		t.Fatal("want error for a Benchmark line without ns/op, got nil")
+	}
+	for _, frag := range []string{"old:2", "BenchmarkBroken", "ns/op"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestParseBenchDuplicateAcrossCPUCounts(t *testing.T) {
+	in := "BenchmarkCoverage-2 1000 100.0 ns/op\nBenchmarkCoverage-8 1000 90.0 ns/op\n"
+	_, err := parseBench(strings.NewReader(in), "new")
+	if err == nil {
+		t.Fatal("want error for duplicate names after -cpu normalization, got nil")
+	}
+	for _, frag := range []string{"new:2", "duplicate", "BenchmarkCoverage", "line 1"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "goos: linux\nPASS\n"} {
+		if _, err := parseBench(strings.NewReader(in), "empty"); err == nil {
+			t.Errorf("want error for input %q with no benchmark results, got nil", in)
+		} else if !strings.Contains(err.Error(), "no benchmark results") {
+			t.Errorf("error %q should say no benchmark results", err)
+		}
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	oldR, err := parseBench(strings.NewReader(goodOld), "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := parseBench(strings.NewReader(goodNew), "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	regs := compare(oldR, newR, 1.30, &out)
+
+	// Accuracy went 200 -> 900 (4.5x): regression. Coverage went
+	// 100 -> 120 (1.2x): under threshold. Retired/BrandNew exist on one
+	// side only: reported, never regressions.
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkAccuracy") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkAccuracy", regs)
+	}
+	report := out.String()
+	for _, frag := range []string{"gone", "1 benchmark(s) only in the new run", "REGRESSED", "allocs/op 2 -> 4"} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q:\n%s", frag, report)
+		}
+	}
+	if strings.Contains(report, "BenchmarkCoverage-") {
+		t.Errorf("names not normalized in report:\n%s", report)
+	}
+}
+
+func TestCompareHandlesDisjointSets(t *testing.T) {
+	oldR := map[string]result{"BenchmarkOnlyOld": {nsPerOp: 10}}
+	newR := map[string]result{"BenchmarkOnlyNew": {nsPerOp: 10}}
+	var out strings.Builder
+	if regs := compare(oldR, newR, 1.30, &out); len(regs) != 0 {
+		t.Fatalf("disjoint benchmark sets must not regress the gate: %v", regs)
+	}
+}

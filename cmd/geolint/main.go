@@ -1,0 +1,90 @@
+// Command geolint runs this repository's project-specific static
+// analyzers over the tree. It is the mechanical keeper of the engine's
+// invariants — determinism, ordered output, context threading, the
+// import DAG, the dependency-free policy and slog conventions — and the
+// `make lint` step of the pre-PR gate.
+//
+// Usage:
+//
+//	geolint [-json] [-rule name[,name...]] [-list] [patterns...]
+//
+// Patterns default to ./cmd/... and ./internal/... relative to the
+// module root (found by walking up from the working directory). Exit
+// status is 0 when clean, 1 when there are findings, 2 on usage or
+// load errors. Suppress an individual finding with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"routergeo/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		ruleSel  = flag.String("rule", "", "comma-separated rule names to run (default: all)")
+		listOnly = flag.Bool("list", false, "list available rules and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *ruleSel != "" {
+		sel, bad, ok := lint.ByName(strings.Split(*ruleSel, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "geolint: unknown rule %q (use -list)\n", bad)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./cmd/...", "./internal/..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, loader.Fset, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "geolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "geolint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -83,9 +83,9 @@ func Collect(ctx context.Context, w *netsim.World, cfg Config) *Collection {
 	c := &Collection{Monitors: monitors, addrs: make(map[ipx.Addr]bool)}
 	seen := make(map[netsim.IfaceID]bool)
 
+	// RoutedSlash24s is already in ascending address order, so the seeded
+	// per-block sampling below replays identically run to run.
 	blocks := w.RoutedSlash24s()
-	// Deterministic iteration order: RoutedSlash24s comes from a map.
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Base < blocks[j].Base })
 
 	cycles := cfg.Cycles
 	if cycles < 1 {

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"routergeo/internal/geo"
@@ -310,17 +311,13 @@ func TopCountries(targets []Target, n int) []string {
 	for cc := range counts {
 		out = append(out, cc)
 	}
-	// Insertion sort by (count desc, code asc) — tiny n.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0; j-- {
-			a, b := out[j-1], out[j]
-			if counts[b] > counts[a] || (counts[b] == counts[a] && b < a) {
-				out[j-1], out[j] = b, a
-			} else {
-				break
-			}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
 		}
-	}
+		return a < b
+	})
 	if len(out) > n {
 		out = out[:n]
 	}

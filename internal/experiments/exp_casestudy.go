@@ -63,11 +63,14 @@ func runSec524(ctx context.Context, w io.Writer, env *Env) error {
 	}
 	fmt.Fprintf(w, "\nPaper: NetAcuity 74.2%% DNS vs 70.1%% RTT — the only database better on the\n")
 	fmt.Fprintf(w, "DNS-based data, implying it decodes hostname hints; MaxMind-Paid 43.9%% vs 66.5%%.\n")
+	// Iterate in the databases' presentation order, not map order: these
+	// lines are experiment output and must be byte-identical run to run.
 	better := 0
-	for name, r := range rows {
+	for _, db := range env.DBs {
+		r := rows[db.Name()]
 		if r.dnsAcc > r.rttAcc {
 			fmt.Fprintf(w, "Better on DNS-based here: %s (%s vs %s)\n",
-				name, stats.Pct(r.dnsAcc), stats.Pct(r.rttAcc))
+				db.Name(), stats.Pct(r.dnsAcc), stats.Pct(r.rttAcc))
 			better++
 		}
 	}

@@ -1,0 +1,31 @@
+package lint
+
+// All returns every project analyzer in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst,
+		Determinism,
+		Layering,
+		MapOrder,
+		SlogKeys,
+		StdlibOnly,
+	}
+}
+
+// ByName returns the named analyzers from All, or false naming the
+// first unknown one.
+func ByName(names []string) ([]*Analyzer, string, bool) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, n, false
+		}
+		out = append(out, a)
+	}
+	return out, "", true
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxPkgs are the packages PR 2 threaded context.Context through so the
+// run's trace span reaches every build and measurement stage.
+var ctxPkgs = []string{
+	"routergeo/internal/core",
+	"routergeo/internal/groundtruth",
+	"routergeo/internal/ark",
+	"routergeo/internal/experiments",
+}
+
+// CtxFirst enforces the context-threading convention in the pipeline
+// packages: a function that accepts a context.Context must accept it as
+// its first parameter, and nothing in those packages may mint its own
+// root context with context.Background/context.TODO — the caller's
+// context (carrying the trace span) must flow through instead.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "In internal/core, internal/groundtruth, internal/ark and " +
+		"internal/experiments, context.Context must be the first parameter " +
+		"of any function that takes one, and context.Background/TODO are " +
+		"forbidden: contexts are threaded from the binary down, never " +
+		"created mid-pipeline, so trace spans and cancellation reach every " +
+		"stage.",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	if !pathInAny(p.Pkg.Path, ctxPkgs) {
+		return
+	}
+	info := p.Pkg.Info
+	inspectFuncs(p.Pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+		idx := 0
+		for _, field := range fn.Type.Params.List {
+			tv, ok := info.Types[field.Type]
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if ok && isContextType(tv.Type) && idx != 0 {
+				p.Reportf(field.Pos(),
+					"%s takes context.Context as parameter %d; it must be the first parameter", fn.Name.Name, idx+1)
+			}
+			idx += n
+		}
+	})
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, fnName, ok := pkgFuncCall(info, call); ok && pkgPath == "context" &&
+				(fnName == "Background" || fnName == "TODO") {
+				p.Reportf(call.Pos(),
+					"context.%s mints a fresh context mid-pipeline; thread the caller's context through instead", fnName)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pathIn reports whether pkgPath is prefix itself or below it.
+func pathIn(pkgPath, prefix string) bool {
+	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// pathInAny reports whether pkgPath is in any of the given subtrees.
+func pathInAny(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pathIn(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall resolves a call of the form pkg.Fn where pkg is an
+// imported package name, returning the package path and function name.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCall resolves a call of the form recv.M(...) where recv is a
+// value (not a package name), returning the receiver's type and the
+// method name.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return nil, "", false
+		}
+	}
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return nil, "", false
+	}
+	return tv.Type, sel.Sel.Name, true
+}
+
+// namedFrom reports whether t (or the type it points to) is a named
+// type called name declared in package pkgPath.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ioWriterIface is a structural copy of io.Writer, built once so the
+// analyzers can use types.Implements without having loaded package io.
+var ioWriterIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	write := types.NewFunc(token.NoPos, nil, "Write", sig)
+	return types.NewInterfaceType([]*types.Func{write}, nil).Complete()
+}()
+
+// implementsWriter reports whether t satisfies io.Writer directly or
+// through a pointer receiver.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, ioWriterIface) || types.Implements(types.NewPointer(t), ioWriterIface)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return namedFrom(t, "context", "Context") }
+
+// builtinCall reports whether call invokes the named predeclared
+// builtin (append, println, ...).
+func builtinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, isID := call.Fun.(*ast.Ident)
+	if !isID || id.Name != name {
+		return false
+	}
+	b, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && b.Name() == name
+}

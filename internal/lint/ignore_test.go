@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives pins the full suppression contract on the
+// fixignore fixture: correct directives silence their finding, while a
+// stranded directive, an unknown rule name and a missing reason are
+// each reported instead of being silently swallowed.
+func TestIgnoreDirectives(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixignore", "routergeo/internal/core/fixignore")
+	fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{Determinism})
+
+	got := map[string]bool{}
+	for _, f := range fs {
+		got[fmt.Sprintf("%d:%s", f.Pos.Line, f.Rule)] = true
+		if base := filepath.Base(f.Pos.Filename); base != "fixignore.go" {
+			t.Errorf("finding in unexpected file %s", base)
+		}
+	}
+	want := map[string]string{
+		// WrongLine: the stranded directive suppresses nothing...
+		"24:ignore": "stranded //lint:ignore must be reported as unused",
+		// ...so the violation two lines below it still fires.
+		"26:determinism": "violation under a stranded directive must still be reported",
+		// UnknownRule: directive reported, violation reported.
+		"32:ignore":      "unknown rule name in //lint:ignore must be reported",
+		"33:determinism": "violation under an unknown-rule directive must still be reported",
+		// MissingReason: directive reported, violation reported.
+		"39:ignore":      "//lint:ignore without a reason must be reported",
+		"40:determinism": "violation under a reasonless directive must still be reported",
+	}
+	for key, why := range want {
+		if !got[key] {
+			t.Errorf("missing finding %s (%s); got %v", key, why, fs)
+		}
+	}
+	if len(fs) != len(want) {
+		t.Errorf("got %d findings, want %d: %v", len(fs), len(want), fs)
+	}
+	// The two suppressed sites must not appear at all.
+	for _, f := range fs {
+		if f.Rule == "determinism" && (f.Pos.Line == 13 || f.Pos.Line == 18) {
+			t.Errorf("suppressed finding leaked: %v", f)
+		}
+	}
+}
+
+// TestIgnoreUnselectedRuleStaysDormant checks that a directive for a
+// rule that is not part of this run is not reported as unused: under
+// -rule selection it is legitimately dormant.
+func TestIgnoreUnselectedRuleStaysDormant(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixignore", "routergeo/internal/core/fixignore2")
+	fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{Layering})
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "suppresses nothing") && strings.Contains(f.Msg, "determinism") {
+			t.Errorf("determinism directive reported unused while determinism was not selected: %v", f)
+		}
+	}
+}

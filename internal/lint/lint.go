@@ -1,0 +1,218 @@
+// Package lint is a dependency-free static-analysis framework for this
+// repository, built on go/parser, go/ast and go/types. It exists to
+// mechanically enforce the invariants the measurement engine's
+// correctness rests on — above all the determinism guarantee that makes
+// parallel sweeps byte-identical to serial ones — instead of leaving
+// them to review memory.
+//
+// A finding can be suppressed with an explanation:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or on its own line directly above it.
+// Directives are themselves checked: an unknown rule name, a missing
+// reason, or a directive that suppresses nothing (e.g. placed on the
+// wrong line) is reported as a finding of the pseudo-rule "ignore".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule: Run inspects a package through its
+// Pass and reports findings.
+type Analyzer struct {
+	// Name is the rule name used in output, -rule selection and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the rule and the invariant
+	// it protects.
+	Doc string
+	// Run executes the rule over pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// A Finding is one rule violation at a position.
+type Finding struct {
+	Rule string         `json:"rule"`
+	Pos  token.Position `json:"pos"`
+	Msg  string         `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// A Pass carries one (analyzer, package) pairing.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Rule: p.Analyzer.Name,
+		Pos:  p.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	used   bool
+}
+
+// IgnoreRule is the pseudo-rule name under which directive-hygiene
+// problems (unknown rule, missing reason, unused directive) are
+// reported. It cannot itself be suppressed.
+const IgnoreRule = "ignore"
+
+// parseDirectives extracts every //lint:ignore directive of a package.
+// Malformed directives are reported immediately into out.
+func parseDirectives(fset *token.FileSet, pkg *Package, out *[]Finding) []*ignoreDirective {
+	var ds []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					*out = append(*out, Finding{Rule: IgnoreRule, Pos: pos,
+						Msg: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\""})
+					continue
+				}
+				d := &ignoreDirective{
+					pos:    pos,
+					rules:  strings.Split(fields[0], ","),
+					reason: strings.Join(fields[1:], " "),
+				}
+				if d.reason == "" {
+					*out = append(*out, Finding{Rule: IgnoreRule, Pos: pos,
+						Msg: fmt.Sprintf("//lint:ignore %s has no reason: justify every suppression", fields[0])})
+					continue
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether d covers a finding: same file, matching
+// rule, and the directive sits on the finding's line or the line above.
+func (d *ignoreDirective) suppresses(f Finding) bool {
+	if d.pos.Filename != f.Pos.Filename {
+		return false
+	}
+	if d.pos.Line != f.Pos.Line && d.pos.Line != f.Pos.Line-1 {
+		return false
+	}
+	for _, r := range d.rules {
+		if r == f.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every package and returns surviving
+// findings sorted by position. Suppressed findings are dropped;
+// directive hygiene is enforced: a directive naming a rule that is not
+// in analyzers, or one that suppressed nothing, is itself a finding.
+func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Finding {
+	// selected gates the unused-directive check: a directive for a rule
+	// that did not run this invocation is legitimately dormant.
+	// registered (every project rule plus whatever was passed in) gates
+	// the unknown-rule check, so `-rule maporder` does not misreport
+	// directives for the other rules as unknown.
+	selected := map[string]bool{}
+	registered := map[string]bool{}
+	for _, a := range All() {
+		registered[a.Name] = true
+	}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+		registered[a.Name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		directives := parseDirectives(fset, pkg, &out)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Fset: fset, findings: &raw})
+		}
+	findings:
+		for _, f := range raw {
+			for _, d := range directives {
+				if d.suppresses(f) {
+					d.used = true
+					continue findings
+				}
+			}
+			out = append(out, f)
+		}
+		for _, d := range directives {
+			for _, r := range d.rules {
+				if !registered[r] && r != IgnoreRule {
+					out = append(out, Finding{Rule: IgnoreRule, Pos: d.pos,
+						Msg: fmt.Sprintf("//lint:ignore names unknown rule %q", r)})
+				}
+			}
+			if d.used {
+				continue
+			}
+			all := true
+			for _, r := range d.rules {
+				if !selected[r] {
+					all = false
+				}
+			}
+			if all {
+				out = append(out, Finding{Rule: IgnoreRule, Pos: d.pos,
+					Msg: fmt.Sprintf("//lint:ignore %s suppresses nothing: it must sit on the offending line or the line above", strings.Join(d.rules, ","))})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// inspectFuncs walks every function declaration of the package,
+// including methods, that has a body.
+func inspectFuncs(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

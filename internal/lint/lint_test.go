@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads testdata/src/<name> under the given synthetic
+// import path, sharing one loader per test so the real module packages
+// fixtures import are only type-checked once.
+func loadFixture(t *testing.T, l *Loader, name, asPath string) *Package {
+	t.Helper()
+	pkg, err := l.LoadAs(filepath.Join("testdata", "src", name), asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// collectWants scans a fixture's comments for "want:<rule>" markers and
+// returns the expected findings as "file.go:line:rule" keys.
+func collectWants(fset *token.FileSet, pkg *Package) map[string]int {
+	wants := map[string]int{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, field := range strings.Fields(c.Text) {
+					rule, ok := strings.CutPrefix(field, "want:")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					wants[fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, rule)]++
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// findingKeys maps findings onto the same key space as collectWants.
+func findingKeys(fs []Finding) map[string]int {
+	got := map[string]int{}
+	for _, f := range fs {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)]++
+	}
+	return got
+}
+
+// checkFixture runs the analyzers over one fixture and diffs actual
+// findings against the want markers.
+func checkFixture(t *testing.T, l *Loader, fixture, asPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, l, fixture, asPath)
+	got := findingKeys(Run([]*Package{pkg}, l.Fset, analyzers))
+	want := collectWants(l.Fset, pkg)
+	keys := map[string]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if got[k] != want[k] {
+			t.Errorf("%s (as %s): finding %s: got %d, want %d", fixture, asPath, k, got[k], want[k])
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixdet", "routergeo/internal/core/fixdet", []*Analyzer{Determinism})
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixdet", "routergeo/internal/netsim/fixdet")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{Determinism}); len(fs) != 0 {
+		t.Fatalf("determinism fired outside its packages: %v", fs)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixmap", "routergeo/internal/experiments/fixmap", []*Analyzer{MapOrder})
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixctx", "routergeo/internal/ark/fixctx", []*Analyzer{CtxFirst})
+}
+
+func TestCtxFirstOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixctx", "routergeo/internal/geodb/fixctx")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{CtxFirst}); len(fs) != 0 {
+		t.Fatalf("ctxfirst fired outside its packages: %v", fs)
+	}
+}
+
+func TestStdlibOnlyFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixdeps", "routergeo/internal/hints/fixdeps", []*Analyzer{StdlibOnly})
+}
+
+func TestLayeringFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixlayer", "routergeo/internal/stats/fixlayer", []*Analyzer{Layering})
+}
+
+func TestLayeringObsSubtree(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "layerobs", "routergeo/internal/obs/layerobs")
+	fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{Layering})
+	if len(fs) != 1 {
+		t.Fatalf("want exactly the geodb import flagged, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "routergeo/internal/geodb") {
+		t.Fatalf("flagged the wrong import: %v", fs[0])
+	}
+}
+
+func TestSlogKeysFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixslog", "routergeo/internal/geodb/fixslog", []*Analyzer{SlogKeys})
+}
+
+func TestSlogKeysAllowsPrintInCmd(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "slogcmd", "routergeo/cmd/slogcmd")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{SlogKeys}); len(fs) != 0 {
+		t.Fatalf("fmt.Println must be allowed under cmd/: %v", fs)
+	}
+}
+
+func TestByName(t *testing.T) {
+	sel, _, ok := ByName([]string{"maporder", "determinism"})
+	if !ok || len(sel) != 2 || sel[0].Name != "maporder" || sel[1].Name != "determinism" {
+		t.Fatalf("ByName selection broken: %v %v", sel, ok)
+	}
+	if _, bad, ok := ByName([]string{"nosuchrule"}); ok || bad != "nosuchrule" {
+		t.Fatalf("ByName must reject unknown rules, got ok=%v bad=%q", ok, bad)
+	}
+}
+
+func TestAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoaderFindsModule(t *testing.T) {
+	l := newTestLoader(t)
+	if l.Module != "routergeo" {
+		t.Fatalf("module = %q, want routergeo", l.Module)
+	}
+	if !strings.HasSuffix(l.Root, "repo") && l.Root == "" {
+		t.Fatalf("empty module root")
+	}
+}
+
+func TestLoadPatterns(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./internal/stats", "./cmd/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	paths := map[string]bool{}
+	for _, p := range pkgs {
+		paths[p.Path] = true
+	}
+	for _, want := range []string{"routergeo/internal/stats", "routergeo/cmd/geolint", "routergeo/cmd/benchcompare"} {
+		if !paths[want] {
+			t.Errorf("Load missed %s; got %v", want, paths)
+		}
+	}
+	for p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Load must skip testdata, got %s", p)
+		}
+	}
+	// Results must be sorted for deterministic output.
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Path >= pkgs[i].Path {
+			t.Fatalf("packages not sorted: %s >= %s", pkgs[i-1].Path, pkgs[i].Path)
+		}
+	}
+}
+
+func TestLoadTypeChecks(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("stats must type-check cleanly: %v", p.TypeErrors)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("ECDF") == nil {
+		t.Fatalf("type info missing ECDF")
+	}
+}
+
+// TestLoadUnresolvableImportDegrades pins the graceful-degradation
+// contract: a fixture importing a nonexistent module still loads (with
+// type errors collected) so AST analyzers can run over it.
+func TestLoadUnresolvableImportDegrades(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixdeps", "routergeo/internal/hints/fixdeps2")
+	if pkg.Types == nil || len(pkg.Files) == 0 {
+		t.Fatalf("package with unresolvable imports must still load")
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for ... range m` over a map when the loop body emits
+// something order-sensitive per iteration: bytes into an io.Writer,
+// samples into a stats ECDF, or appends into a slice the enclosing
+// function returns without ever sorting. Go randomizes map iteration
+// order, so any of those turns a deterministic sweep into one that
+// differs run to run — the exact bug class that would break the
+// byte-identical parallel/serial guarantee. The dominant safe pattern —
+// collect keys, sort, then iterate the sorted slice — is exempt because
+// the sorted slice is what gets consumed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "Iterating a map while writing to an io.Writer, feeding an ECDF, " +
+		"or appending to a returned-but-never-sorted slice produces " +
+		"nondeterministic output (map order is randomized). Collect the " +
+		"keys, sort them, and range over the sorted slice instead.",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	inspectFuncs(p.Pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+		returned := identObjects(p.Pkg.Info, returnExprs(fn.Body))
+		sorted := sortCallArgObjects(p.Pkg.Info, fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(p.Pkg.Info, rs) {
+				return true
+			}
+			checkMapRangeBody(p, rs, returned, sorted)
+			return true
+		})
+	})
+}
+
+// rangesOverMap reports whether rs iterates a map-typed expression.
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRangeBody reports order-sensitive effects inside one
+// range-over-map body.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, returned, sorted map[types.Object]bool) {
+	info := p.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, fn, ok := pkgFuncCall(info, call); ok {
+			switch {
+			case pkgPath == "fmt" && (fn == "Fprint" || fn == "Fprintf" || fn == "Fprintln"):
+				p.Reportf(call.Pos(),
+					"fmt.%s inside range over a map writes in randomized map order; sort the keys first", fn)
+			case pkgPath == "io" && fn == "WriteString":
+				p.Reportf(call.Pos(),
+					"io.WriteString inside range over a map writes in randomized map order; sort the keys first")
+			}
+			return true
+		}
+		if recv, name, ok := methodCall(info, call); ok {
+			switch {
+			case namedFrom(recv, "routergeo/internal/stats", "ECDF") && (name == "Add" || name == "AddAll"):
+				// ECDF.Add is order-insensitive only after the final sort;
+				// the engine's merge path relies on insertion order, so
+				// feeding one from map order is still banned.
+				p.Reportf(call.Pos(),
+					"ECDF.%s inside range over a map inserts samples in randomized order; collect and sort inputs first", name)
+			case (name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune") && implementsWriter(recv):
+				p.Reportf(call.Pos(),
+					"%s on an io.Writer inside range over a map emits bytes in randomized map order; sort the keys first", name)
+			}
+			return true
+		}
+		if builtinCall(info, call, "append") && len(call.Args) > 0 {
+			id, isID := call.Args[0].(*ast.Ident)
+			if !isID {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !declaredOutside(obj, rs) {
+				return true
+			}
+			if returned[obj] && !sorted[obj] {
+				p.Reportf(call.Pos(),
+					"append to %s inside range over a map builds a returned slice in randomized order; sort %s (or the keys) before returning", id.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement's extent.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// returnExprs collects every expression appearing in a return
+// statement of body.
+func returnExprs(body *ast.BlockStmt) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, ret.Results...)
+		}
+		return true
+	})
+	return out
+}
+
+// identObjects resolves the identifiers whose *contents* escape through
+// exprs. It follows only order-preserving shapes — `return out`,
+// `return out[:n]`, `return Result{Names: out}`, `return append(out, x)`
+// — and deliberately stops at other calls: `return len(out)` does not
+// expose out's element order.
+func identObjects(info *types.Info, exprs []ast.Expr) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				out[obj] = true
+			}
+		case *ast.ParenExpr:
+			walk(v.X)
+		case *ast.SliceExpr:
+			walk(v.X)
+		case *ast.IndexExpr:
+			walk(v.X)
+		case *ast.StarExpr:
+			walk(v.X)
+		case *ast.UnaryExpr:
+			walk(v.X)
+		case *ast.SelectorExpr:
+			walk(v.X)
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				walk(el)
+			}
+		case *ast.KeyValueExpr:
+			walk(v.Value)
+		case *ast.CallExpr:
+			if builtinCall(info, v, "append") {
+				for _, a := range v.Args {
+					walk(a)
+				}
+			}
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}
+
+// sortCallArgObjects collects objects passed (possibly nested, e.g.
+// sort.Sort(byLen(out))) to any sort.* or slices.* call in body. A
+// slice that flows through such a call before being returned has a
+// deterministic final order regardless of how it was filled.
+func sortCallArgObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _, ok := pkgFuncCall(info, call)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, isID := m.(*ast.Ident); isID {
+					if obj := info.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSelfRunClean runs every analyzer over the real tree — the same
+// invocation as `make lint` — and requires zero findings. This is the
+// regression lock for the invariants themselves: any new wall-clock
+// read in measurement code, unsorted map iteration on an output path,
+// misplaced context parameter, third-party import, layering breach or
+// malformed slog call fails this test, not just the Makefile gate.
+func TestSelfRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./cmd/...", "./internal/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("self-run only saw %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, f := range Run(pkgs, l.Fset, All()) {
+		t.Errorf("geolint finding in the real tree: %v", f)
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// slogArgStart maps each slog call that takes trailing key/value pairs
+// to the index where those pairs start.
+var slogArgStart = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log":  3, // ctx, level, msg, args...
+	"With": 0,
+}
+
+// SlogKeys keeps structured logs machine-parseable: every slog call
+// must pass an even-length tail of key/value pairs whose keys are
+// constant strings (so dashboards and grep have stable field names),
+// and nothing outside cmd/ may print straight to stdout with
+// fmt.Print*/println — library code logs through slog or writes to an
+// injected io.Writer.
+var SlogKeys = &Analyzer{
+	Name: "slogkeys",
+	Doc: "slog calls must pass key/value tails of even length with " +
+		"constant-string keys (slog.Attr values are allowed and consume one " +
+		"slot). fmt.Print/Printf/Println and the println/print builtins are " +
+		"forbidden outside cmd/: library code logs via slog or writes to an " +
+		"injected io.Writer.",
+	Run: runSlogKeys,
+}
+
+func runSlogKeys(p *Pass) {
+	info := p.Pkg.Info
+	inCmd := pathIn(p.Pkg.Path, "routergeo/cmd")
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, fn, ok := pkgFuncCall(info, call); ok {
+				switch {
+				case pkgPath == "log/slog":
+					if start, isLog := slogArgStart[fn]; isLog {
+						checkSlogArgs(p, call, start)
+					} else if fn == "Group" {
+						checkSlogArgs(p, call, 1)
+					}
+				case pkgPath == "fmt" && !inCmd &&
+					(fn == "Print" || fn == "Printf" || fn == "Println"):
+					p.Reportf(call.Pos(),
+						"fmt.%s writes to stdout from library code; log through slog or write to an injected io.Writer", fn)
+				}
+				return true
+			}
+			if recv, name, ok := methodCall(info, call); ok {
+				if start, isLog := slogArgStart[name]; isLog && namedFrom(recv, "log/slog", "Logger") {
+					checkSlogArgs(p, call, start)
+				}
+				return true
+			}
+			if !inCmd && (builtinCall(info, call, "println") || builtinCall(info, call, "print")) {
+				p.Reportf(call.Pos(),
+					"builtin println/print writes to stderr from library code; log through slog instead")
+			}
+			return true
+		})
+	}
+}
+
+// checkSlogArgs validates the key/value tail of one slog call starting
+// at argument index start. A slog.Attr consumes one slot; anything else
+// must be a constant-string key followed by a value.
+func checkSlogArgs(p *Pass, call *ast.CallExpr, start int) {
+	if call.Ellipsis.IsValid() {
+		// args... spreads a prebuilt slice; its contents are not visible
+		// statically.
+		return
+	}
+	if len(call.Args) < start {
+		return // not enough fixed args to even reach the tail; vet's domain
+	}
+	info := p.Pkg.Info
+	i := start
+	for i < len(call.Args) {
+		arg := call.Args[i]
+		if tv, ok := info.Types[arg]; ok && namedFrom(tv.Type, "log/slog", "Attr") {
+			i++
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			p.Reportf(arg.Pos(),
+				"slog key must be a constant string so log fields stay stable and greppable")
+		}
+		if i+1 >= len(call.Args) {
+			p.Reportf(arg.Pos(),
+				"slog call has a key with no value: key/value tail must have even length")
+			return
+		}
+		i += 2
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the repository's dependency-free policy: every
+// import must be either the standard library or this module. The test
+// is the go toolchain's own convention — an import path whose first
+// element contains a dot is a remote module.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc: "The repository is dependency-free by policy: imports must come " +
+		"from the Go standard library or from this module. Anything with a " +
+		"dotted first path element (github.com/..., golang.org/x/...) and " +
+		"cgo's import \"C\" are rejected.",
+	Run: runStdlibOnly,
+}
+
+func runStdlibOnly(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "C" {
+				p.Reportf(imp.Pos(), `import "C" (cgo) is forbidden: the build must stay pure Go`)
+				continue
+			}
+			if pathIn(path, "routergeo") {
+				continue
+			}
+			first := path
+			if i := strings.IndexByte(first, '/'); i >= 0 {
+				first = first[:i]
+			}
+			if strings.Contains(first, ".") {
+				p.Reportf(imp.Pos(),
+					"import %q is outside the standard library and this module; the repository is dependency-free by policy", path)
+			}
+		}
+	}
+}

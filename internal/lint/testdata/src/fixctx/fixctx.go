@@ -1,0 +1,34 @@
+// Package fixctx plants context-threading violations. The test loads it
+// as a subpackage of internal/ark (in scope) and of internal/geodb
+// (out of scope: no findings).
+package fixctx
+
+import "context"
+
+// Bad takes its context second.
+func Bad(id int, ctx context.Context) error { // want:ctxfirst
+	return ctx.Err()
+}
+
+// BadMethod does the same on a method.
+func (s *Sweep) BadMethod(name string, ctx context.Context) error { // want:ctxfirst
+	return ctx.Err()
+}
+
+// Mint creates a root context mid-pipeline instead of threading the
+// caller's.
+func Mint() error {
+	ctx := context.Background() // want:ctxfirst
+	return ctx.Err()
+}
+
+// Good threads the caller's context first.
+func Good(ctx context.Context, id int) error {
+	return ctx.Err()
+}
+
+// NoCtx is fine: pure helpers need no context at all.
+func NoCtx(id int) int { return id * 2 }
+
+// Sweep anchors the method fixtures.
+type Sweep struct{}

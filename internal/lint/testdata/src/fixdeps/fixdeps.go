@@ -1,0 +1,13 @@
+// Package fixdeps plants a third-party import, which the
+// dependency-free policy forbids.
+package fixdeps
+
+import (
+	"fmt"
+
+	_ "github.com/fake/dep"   // want:stdlibonly
+	_ "golang.org/x/sys/unix" // want:stdlibonly
+)
+
+// Hello only needs the standard library.
+func Hello() string { return fmt.Sprintf("hi") }

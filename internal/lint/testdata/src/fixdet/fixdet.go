@@ -1,0 +1,24 @@
+// Package fixdet plants determinism violations. The test loads it once
+// as a subpackage of internal/core (every marker must fire) and once as
+// a subpackage of internal/netsim (out of scope: no findings).
+package fixdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the wall clock and the global RNG.
+func Bad() (int64, time.Duration, int) {
+	now := time.Now().UnixNano()       // want:determinism
+	d := time.Since(time.Unix(0, now)) // want:determinism
+	n := rand.Intn(10)                 // want:determinism
+	time.Sleep(time.Millisecond)       // want:determinism
+	return now, d, n
+}
+
+// Good threads an explicitly seeded RNG and only does duration math.
+func Good(seed int64) (float64, time.Duration) {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64(), 3 * time.Second
+}

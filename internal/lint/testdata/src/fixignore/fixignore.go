@@ -1,0 +1,41 @@
+// Package fixignore exercises //lint:ignore suppression and its
+// hygiene checks. The test loads it as a subpackage of internal/core
+// and runs the determinism analyzer; expected findings are asserted by
+// explicit line number in the test, not markers, because several cases
+// are about the directive comment itself.
+package fixignore
+
+import "time"
+
+// SuppressedAbove is silenced by a directive on its own line above.
+func SuppressedAbove() int64 {
+	//lint:ignore determinism fixture exercises above-line suppression
+	return time.Now().UnixNano()
+}
+
+// SuppressedSameLine is silenced by a trailing directive.
+func SuppressedSameLine() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism fixture exercises same-line suppression
+}
+
+// WrongLine has its directive stranded two lines above the violation:
+// the violation is reported, and so is the dead directive.
+func WrongLine() int64 {
+	//lint:ignore determinism stranded two lines above the violation
+	x := int64(0)
+	return x + time.Now().UnixNano()
+}
+
+// UnknownRule names a rule that does not exist; the directive is
+// reported and suppresses nothing.
+func UnknownRule() int64 {
+	//lint:ignore nosuchrule bogus rule name
+	return time.Now().UnixNano()
+}
+
+// MissingReason omits the justification; the directive is rejected and
+// suppresses nothing.
+func MissingReason() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}

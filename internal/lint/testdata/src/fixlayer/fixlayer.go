@@ -1,0 +1,11 @@
+// Package fixlayer plants import-DAG violations. The test loads it as a
+// subpackage of internal/stats, where importing obs and geodb breaks
+// the leaf rule and importing a cmd package breaks the
+// composition-root rule.
+package fixlayer
+
+import (
+	_ "routergeo/cmd/geolint"    // want:layering
+	_ "routergeo/internal/geodb" // want:layering
+	_ "routergeo/internal/obs"   // want:layering
+)

@@ -1,0 +1,92 @@
+// Package fixmap plants map-iteration-order violations and the
+// sanctioned collect-then-sort patterns next to them. The first two bad
+// cases regression-lock real bugs geolint's first self-run found in
+// this repository: experiment output printed per map iteration
+// (exp_casestudy.go) and a returned slice filled in map order
+// (netsim.RoutedSlash24s).
+package fixmap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"routergeo/internal/stats"
+)
+
+// PrintRows emits one output line per map iteration — the
+// exp_casestudy.go bug class.
+func PrintRows(w io.Writer, rows map[string]int) {
+	for name, v := range rows {
+		fmt.Fprintf(w, "%s=%d\n", name, v) // want:maporder
+	}
+}
+
+// WriteRows hits the method-call forms of the same bug.
+func WriteRows(buf *bytes.Buffer, rows map[string]int) {
+	for name := range rows {
+		buf.WriteString(name) // want:maporder
+	}
+	for name := range rows {
+		_, _ = io.WriteString(buf, name) // want:maporder
+	}
+}
+
+// Keys returns a slice filled in map order and never sorted — the
+// RoutedSlash24s bug class.
+func Keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want:maporder
+	}
+	return out
+}
+
+// Feed pushes samples into an ECDF in map order.
+func Feed(e *stats.ECDF, m map[string]float64) {
+	for _, v := range m {
+		e.Add(v) // want:maporder
+	}
+}
+
+// SortedKeys is the sanctioned pattern: collect, sort, return.
+func SortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ranked is sanctioned too: the comparator call reaches the slice
+// through a conversion, as sort.Slice closures and sort.Sort adapters
+// do in the real tree.
+func Ranked(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Copy is order-insensitive: map in, map out.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Count appends into a local that never escapes as a slice; returning
+// len(locals) is order-insensitive.
+func Count(m map[string]int) int {
+	var locals []string
+	for k := range m {
+		locals = append(locals, k)
+	}
+	return len(locals)
+}

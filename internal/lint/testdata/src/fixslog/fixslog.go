@@ -1,0 +1,25 @@
+// Package fixslog plants structured-logging violations: odd key/value
+// tails, non-constant keys, and library code printing to stdout.
+package fixslog
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+const stableKey = "stable"
+
+// Bad breaks each slogkeys clause once.
+func Bad(l *slog.Logger, name string) {
+	slog.Info("msg", "key")                        // want:slogkeys
+	slog.Info("msg", name, 1)                      // want:slogkeys
+	l.Warn("msg", "a", 1, "b")                     // want:slogkeys
+	fmt.Println("library code printing to stdout") // want:slogkeys
+}
+
+// Good mixes constant keys, named constants and slog.Attr values.
+func Good(l *slog.Logger, err error) {
+	slog.Info("msg", "key", 1, slog.Int("n", 2), stableKey, "v")
+	l.Error("failed", "error", err)
+	slog.With("component", "x").Info("ready")
+}

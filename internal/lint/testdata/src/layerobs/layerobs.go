@@ -1,0 +1,9 @@
+// Package layerobs is loaded as a subpackage of internal/obs: the
+// geodb import breaks obs's imports-nothing-internal rule, while the
+// obs import stays within obs's own subtree and is allowed.
+package layerobs
+
+import (
+	_ "routergeo/internal/geodb"
+	_ "routergeo/internal/obs"
+)

@@ -1,0 +1,8 @@
+// Package slogcmd is loaded as a cmd/ package, where printing to
+// stdout is the whole point and fmt.Println is allowed.
+package slogcmd
+
+import "fmt"
+
+// Report prints a result line, as binaries do.
+func Report(v int) { fmt.Println("result:", v) }

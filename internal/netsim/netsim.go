@@ -172,13 +172,15 @@ func (w *World) DestRouterFor(a ipx.Addr) (RouterID, bool) {
 }
 
 // RoutedSlash24s returns the base address of every /24 with at least one
-// numbered interface, in unspecified order. Ark target selection samples
-// from these.
+// numbered interface, in ascending base-address order so downstream
+// seeded sampling (Ark target selection, vendor feeds) is reproducible
+// without each caller re-sorting.
 func (w *World) RoutedSlash24s() []ipx.Prefix {
 	out := make([]ipx.Prefix, 0, len(w.blockOwner))
 	for base := range w.blockOwner {
 		out = append(out, ipx.Prefix{Base: base, Bits: 24})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
 	return out
 }
 
