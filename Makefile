@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race bench bench-compare
+.PHONY: check vet fmt lint build test race chaos bench bench-compare
 
 check: vet fmt lint build race
 
@@ -39,6 +39,14 @@ RACE_FIRST = ./internal/obs/... ./internal/core/... ./internal/ipx/...
 race:
 	$(GO) test -race $(RACE_FIRST)
 	$(GO) test -race $$($(GO) list ./... | grep -v -E '^routergeo/internal/(obs|core|ipx)$$')
+
+# Chaos acceptance suite: the full remote-evaluation sweep under every
+# builtin fault policy (internal/faults) plus the fault injector's own
+# tests, under -race. Byte-identical output to the no-fault run is the
+# bar — see chaos_test.go.
+chaos:
+	$(GO) test -race -run 'Chaos' -v .
+	$(GO) test -race ./internal/faults/ ./internal/geodb/httpapi/
 
 # Measurement-engine benchmarks: sweep throughput serial vs parallel,
 # plus the lookup index and ECDF machinery under it. Teed into

@@ -162,7 +162,7 @@ func BenchmarkRemoteLookupBatch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.BatchLookup(ips); err != nil {
+		if _, err := c.BatchLookup(context.Background(), ips); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,245 @@
+package routergeo
+
+// Chaos acceptance suite (run via `make chaos`): a full remote-evaluation
+// sweep must produce byte-identical measurement output under every
+// builtin fault policy, with the local copy of each database armed as
+// the degradation fallback. Latency spikes, 5xx bursts, throttles,
+// connection resets, truncated bodies and slow-loris responses may cost
+// retries, breaker trips and degraded lookups — but never a changed
+// number. A second test pins the observability half of the contract:
+// breaker state and outage-taint counts must be visible in /v2/stats
+// and in the run manifest.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"routergeo/internal/core"
+	"routergeo/internal/faults"
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/httpapi"
+	"routergeo/internal/obs"
+)
+
+// accuracyFingerprint serializes every observable of an accuracy sweep,
+// including the raw error-CDF samples, so "byte-identical" is literal.
+func accuracyFingerprint(t *testing.T, acc core.Accuracy) []byte {
+	t.Helper()
+	var points []float64
+	if acc.ErrorCDF != nil {
+		points = acc.ErrorCDF.Points()
+	}
+	b, err := json.Marshal(struct {
+		Total, CountryAnswered, CountryCorrect int
+		CityAnswered, Within40Km               int
+		ErrorPoints                            []float64
+	}{acc.Total, acc.CountryAnswered, acc.CountryCorrect,
+		acc.CityAnswered, acc.Within40Km, points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// chaosServer serves dbs behind the named fault policy. Sleeps are
+// nullified so latency/slow-loris faults exercise their code paths
+// without real waiting, and the control endpoints stay exempt exactly
+// as geoserve -chaos configures them.
+func chaosServer(t *testing.T, dbs []*geodb.DB, policy faults.Policy, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	opts := []faults.Option{
+		faults.WithSleep(func(time.Duration) {}),
+		faults.WithExemptPaths("/healthz", "/v2/stats"),
+	}
+	if reg != nil {
+		opts = append(opts, faults.WithObserver(func(k faults.Kind) {
+			reg.Counter("chaos.injected." + string(k)).Inc()
+		}))
+	}
+	in := faults.New(policy, opts...)
+	srv := httptest.NewServer(in.Middleware(httpapi.NewHandler(dbs,
+		httpapi.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// chaosClient is tuned for the suite: real retry/breaker/backoff logic,
+// but with delays capped in the low milliseconds so a whole sweep per
+// policy stays fast.
+func chaosClient(baseURL, db string, reg *obs.Registry) *httpapi.Client {
+	return httpapi.NewClient(baseURL,
+		httpapi.WithDatabase(db),
+		httpapi.WithRetries(4),
+		httpapi.WithBackoff(time.Millisecond),
+		httpapi.WithMaxBackoff(5*time.Millisecond),
+		httpapi.WithBreaker(5, 10*time.Millisecond),
+		httpapi.WithConcurrency(4),
+		httpapi.WithClientMaxBatch(256),
+		httpapi.WithClientMetrics(reg),
+		httpapi.WithClientLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+}
+
+func TestChaosRemoteEvaluationByteIdentical(t *testing.T) {
+	s := testStudy(t)
+	db := s.env.DBs[0]
+	want := accuracyFingerprint(t, core.MeasureAccuracy(context.Background(), db, s.env.Targets))
+
+	for _, policy := range faults.Builtin() {
+		policy := policy
+		t.Run(policy.Name, func(t *testing.T) {
+			srv := chaosServer(t, s.env.DBs, policy, nil)
+			c := chaosClient(srv.URL, db.Name(), nil)
+			p, err := httpapi.NewRemoteProvider(c, httpapi.WithFallback(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := accuracyFingerprint(t, core.MeasureAccuracy(context.Background(), p, s.env.Targets))
+			if string(got) != string(want) {
+				t.Errorf("accuracy under %q diverged from the no-fault run:\n got %s\nwant %s",
+					policy.Name, got, want)
+			}
+		})
+	}
+}
+
+// TestChaosTotalOutageDegradesLosslessly is the hardest degradation
+// case: every lookup request fails (rate=1 errors, no burst recovery),
+// so the sweep runs entirely on the fallback — and must still match.
+func TestChaosTotalOutageDegradesLosslessly(t *testing.T) {
+	s := testStudy(t)
+	db := s.env.DBs[0]
+	policy, err := faults.Parse("errors:rate=1,burst=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := chaosServer(t, s.env.DBs, policy, nil)
+	c := chaosClient(srv.URL, db.Name(), nil)
+	p, err := httpapi.NewRemoteProvider(c, httpapi.WithFallback(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := accuracyFingerprint(t, core.MeasureAccuracy(context.Background(), db, s.env.Targets))
+	got := accuracyFingerprint(t, core.MeasureAccuracy(context.Background(), p, s.env.Targets))
+	if string(got) != string(want) {
+		t.Errorf("total-outage accuracy diverged:\n got %s\nwant %s", got, want)
+	}
+	if p.Degraded() == 0 {
+		t.Error("total outage produced no degraded lookups; the faults never fired?")
+	}
+	if c.TransportErrors() == 0 {
+		t.Error("total outage recorded no transport errors")
+	}
+}
+
+// TestChaosObservability pins the operator's view: after a sweep under
+// chaos, injected-fault tallies, breaker state and outage-taint counts
+// must be readable from /v2/stats (served by the chaotic server itself,
+// on its exempt path) and recordable into a run manifest.
+func TestChaosObservability(t *testing.T) {
+	s := testStudy(t)
+	db := s.env.DBs[0]
+	rec := obs.NewRun("chaos-test")
+	reg := rec.Registry()
+
+	policy, err := faults.Parse("errors:rate=1,burst=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := chaosServer(t, s.env.DBs, policy, reg)
+	c := chaosClient(srv.URL, db.Name(), reg)
+	p, err := httpapi.NewRemoteProvider(c, httpapi.WithFallback(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.MeasureAccuracy(context.Background(), p, s.env.Targets)
+
+	// The suite's registry doubles as the stats surface: assemble the
+	// same sections /v2/stats would serve from it.
+	snap := reg.Snapshot()
+	if snap.Counters["chaos.injected.error"] == 0 {
+		t.Error("no injected-error tally in the registry")
+	}
+	if snap.Counters["client.outage.degraded_lookups"] == 0 {
+		t.Error("no degraded-lookup tally in the registry")
+	}
+	host := ""
+	for name := range snap.Gauges {
+		if n, ok := cutPrefixSuffix(name, "client.breaker.", ".state"); ok {
+			host = n
+		}
+	}
+	if host == "" {
+		t.Fatalf("no breaker state gauge in the registry: %v", snap.Gauges)
+	}
+
+	// And the run manifest records the taint.
+	rec.SetTaint("remote.degraded", p.Degraded())
+	rec.SetTaint("remote.tainted", p.Tainted())
+	m := rec.Manifest()
+	if m.Taint["remote.degraded"] == 0 {
+		t.Errorf("manifest taint = %+v, want remote.degraded > 0", m.Taint)
+	}
+	if _, ok := m.Taint["remote.tainted"]; !ok {
+		t.Errorf("manifest taint = %+v, want an explicit remote.tainted entry", m.Taint)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["client.outage.degraded_lookups"] == 0 {
+		t.Error("manifest metrics missing the outage counters")
+	}
+}
+
+func cutPrefixSuffix(s, prefix, suffix string) (string, bool) {
+	if len(s) <= len(prefix)+len(suffix) ||
+		s[:len(prefix)] != prefix || s[len(s)-len(suffix):] != suffix {
+		return "", false
+	}
+	return s[len(prefix) : len(s)-len(suffix)], true
+}
+
+// TestChaosStatsEndpointUnderFire queries the chaotic server's own
+// /v2/stats while faults are armed: the exemption must keep the control
+// channel clean, and the chaos section must count the injected faults.
+func TestChaosStatsEndpointUnderFire(t *testing.T) {
+	s := testStudy(t)
+	db := s.env.DBs[0]
+	policy, err := faults.Parse("errors:rate=1,burst=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server's own registry feeds its /v2/stats; the observer must
+	// write there, so build the handler by hand.
+	h := httpapi.NewHandler(s.env.DBs,
+		httpapi.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	in := faults.New(policy,
+		faults.WithSleep(func(time.Duration) {}),
+		faults.WithExemptPaths("/healthz", "/v2/stats"),
+		faults.WithObserver(func(k faults.Kind) {
+			h.Registry().Counter("chaos.injected." + string(k)).Inc()
+		}))
+	srv := httptest.NewServer(in.Middleware(h))
+	t.Cleanup(srv.Close)
+
+	c := chaosClient(srv.URL, db.Name(), h.Registry())
+	for i := 0; i < 3; i++ { // every attempt 503s; breaker may trip, fine
+		_, _, _ = c.TryLookup(context.Background(), s.env.Targets[i%len(s.env.Targets)].Addr)
+	}
+
+	stats, err := httpapi.NewClient(srv.URL).Stats() // exempt path: must succeed despite rate=1
+	if err != nil {
+		t.Fatalf("stats under full fault rate = %v (exemption broken?)", err)
+	}
+	if stats.Chaos["error"] == 0 {
+		t.Errorf("stats chaos section = %+v, want injected errors counted", stats.Chaos)
+	}
+	if len(stats.Breakers) == 0 {
+		t.Errorf("stats breakers section empty; client instruments not surfaced")
+	}
+	if stats.Taint["transport_errors"] == 0 {
+		t.Errorf("stats taint section = %+v, want transport errors counted", stats.Taint)
+	}
+}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -123,7 +124,7 @@ func remoteMain(baseURL, db string, args []string) int {
 	}
 
 	c := httpapi.NewClient(baseURL, httpapi.WithDatabase(db))
-	entries, err := c.BatchLookup(ips)
+	entries, err := c.BatchLookup(context.Background(), ips)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "geolookup:", err)
 		return 1

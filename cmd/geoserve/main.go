@@ -15,6 +15,16 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to
 // draining, in-flight requests get -drain to finish, then the listener
 // closes.
+//
+// -chaos <policy> arms deterministic fault injection over every lookup
+// endpoint (health and stats stay exempt so the server remains
+// observable while it misbehaves): latency spikes, 5xx bursts,
+// throttles, connection resets, truncated bodies and slow-loris
+// responses, per internal/faults. Policies are named (latency, errors,
+// throttle, resets, truncate, slowloris, mixed) with inline overrides —
+// "errors:rate=0.5,seed=7" — and the same spec always injects the same
+// schedule, so client resilience tests are reproducible. Injected-fault
+// tallies appear in /v2/stats under "chaos".
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"routergeo/internal/core"
 	"routergeo/internal/experiments"
+	"routergeo/internal/faults"
 	"routergeo/internal/geodb"
 	"routergeo/internal/geodb/dbfile"
 	"routergeo/internal/geodb/httpapi"
@@ -58,6 +69,7 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "silence routine access logs (4xx/5xx still log)")
 		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof and /debug/metrics")
 		par         = flag.Int("parallelism", 0, "worker count for measurement loops and the default batch pool width (0 = GOMAXPROCS)")
+		chaos       = flag.String("chaos", "", "fault-injection policy, e.g. mixed or errors:rate=0.5,seed=7 (see internal/faults)")
 		dbPaths     dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
@@ -126,6 +138,26 @@ func main() {
 	opts = append(opts, httpapi.WithLogger(accessLogger))
 	handler := httpapi.NewHandler(dbs, opts...)
 
+	// The chaos middleware sits outside the whole handler stack so its
+	// faults hit logging, metrics and recovery exactly as real transport
+	// trouble would. /healthz and /v2/stats stay exempt: an operator
+	// watching a chaos run needs a clean control channel.
+	var root http.Handler = handler
+	if *chaos != "" {
+		policy, err := faults.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "geoserve:", err)
+			os.Exit(2)
+		}
+		injector := faults.New(policy,
+			faults.WithExemptPaths("/healthz", "/v2/stats"),
+			faults.WithObserver(func(k faults.Kind) {
+				handler.Registry().Counter("chaos.injected." + string(k)).Inc()
+			}))
+		root = injector.Middleware(handler)
+		logger.Warn("chaos fault injection armed", "policy", policy.Name, "seed", policy.Seed)
+	}
+
 	if *debugAddr != "" {
 		dbg := http.NewServeMux()
 		dbg.HandleFunc("/debug/pprof/", pprof.Index)
@@ -144,7 +176,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -15,6 +15,11 @@
 // writes a JSON run manifest (-manifest, default routergeo-run.json)
 // recording the config, the stage tree with per-stage timings and item
 // counts, and the headline dataset sizes.
+//
+// -remote URL scores the accuracy sweep through a running geoserve
+// instance instead of in-process databases; outage bookkeeping
+// (degraded/tainted lookups, breaker opens) is recorded in the
+// manifest's taint section. See remoteAccuracy.
 package main
 
 import (
@@ -25,11 +30,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"routergeo/internal/core"
 	"routergeo/internal/experiments"
 	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/httpapi"
 	"routergeo/internal/obs"
 )
 
@@ -45,6 +52,8 @@ func main() {
 		stability = flag.Int("stability", 0, "instead of experiments, rebuild the pipeline under N seeds and print headline metrics")
 		manifest  = flag.String("manifest", "routergeo-run.json", "write the JSON run manifest here (empty disables)")
 		par       = flag.Int("parallelism", 0, "worker count for measurement loops and the experiment fan-out; 1 forces the serial path (0 = GOMAXPROCS)")
+		remote    = flag.String("remote", "", "instead of experiments, score the accuracy sweep through a geoserve instance at this base URL")
+		remoteFB  = flag.Bool("remote-fallback", true, "with -remote, degrade to the locally built databases when the server cannot answer (false: misses are tainted instead)")
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -142,6 +151,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote figure series to %s\n", *plotdir)
 	}
 
+	if *remote != "" {
+		if err := remoteAccuracy(ctx, rec, env, *remote, *remoteFB); err != nil {
+			fail(err)
+		}
+		writeManifest()
+		return
+	}
+
 	if *run == "" {
 		if err := experiments.RunAll(ctx, os.Stdout, env); err != nil {
 			fail(err)
@@ -170,4 +187,47 @@ func main() {
 		}
 	}
 	writeManifest()
+}
+
+// remoteAccuracy scores the paper's accuracy sweep (§5.2) against a
+// geoserve instance instead of in-process databases — the deployment
+// shape the commercial products are actually consumed in. Each database
+// is evaluated through a RemoteProvider; with fallback armed the locally
+// built copy answers whenever the server cannot, so an outage degrades
+// throughput instead of corrupting results. Either way the outage
+// bookkeeping — transport errors, degraded lookups, tainted (falsely
+// missing) lookups, breaker opens — lands in the run manifest, so a
+// sweep that survived trouble says so.
+func remoteAccuracy(ctx context.Context, rec *obs.Run, env *experiments.Env, baseURL string, fallback bool) error {
+	fmt.Printf("remote accuracy sweep via %s (%d targets)\n", baseURL, len(env.Targets))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "db\tcountry cov\tcountry acc\tcity cov\tmedian err\tdegraded\ttainted")
+	for _, db := range env.DBs {
+		c := httpapi.NewClient(baseURL,
+			httpapi.WithDatabase(db.Name()),
+			httpapi.WithBaseContext(ctx),
+			httpapi.WithClientMetrics(rec.Registry()))
+		var opts []httpapi.RemoteOption
+		if fallback {
+			opts = append(opts, httpapi.WithFallback(db))
+		}
+		p, err := httpapi.NewRemoteProvider(c, opts...)
+		if err != nil {
+			return err
+		}
+		acc := core.MeasureAccuracy(ctx, p, env.Targets)
+		med := 0.0
+		if acc.ErrorCDF != nil && acc.ErrorCDF.N() > 0 {
+			med = acc.ErrorCDF.Quantile(0.5)
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.0f km\t%d\t%d\n",
+			db.Name(), 100*acc.CountryCoverage(), 100*acc.CountryAccuracy(),
+			100*acc.CityCoverage(), med, p.Degraded(), p.Tainted())
+		name := strings.ToLower(db.Name())
+		rec.SetTaint("remote."+name+".degraded", p.Degraded())
+		rec.SetTaint("remote."+name+".tainted", p.Tainted())
+		rec.SetTaint("remote."+name+".transport_errors", c.TransportErrors())
+		rec.SetTaint("remote."+name+".breaker_opens", c.BreakerStats().Opens)
+	}
+	return w.Flush()
 }

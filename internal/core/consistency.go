@@ -12,7 +12,7 @@ import (
 // CountryAgreement counts pairwise country-level agreement over the
 // addresses both databases answer (§5.1).
 func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr) (agree, both int) {
-	_, sp := obs.Start(ctx, "core.country_agreement")
+	ctx, sp := obs.Start(ctx, "core.country_agreement")
 	defer sp.End()
 	sp.SetAttr("db_a", a.Name())
 	sp.SetAttr("db_b", b.Name())
@@ -25,8 +25,8 @@ func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr
 	parts := make([]partial, workers)
 	runChunks(len(addrs), workers, func(ci, lo, hi int) {
 		chunk := addrs[lo:hi]
-		prefetch(a, chunk)
-		prefetch(b, chunk)
+		prefetch(ctx, a, chunk)
+		prefetch(ctx, b, chunk)
 		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
 		var p partial
 		for _, addr := range chunk {
@@ -112,7 +112,7 @@ type PairwiseCity struct {
 
 // MeasurePairwiseCity computes the Figure 1 comparison for one pair.
 func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr) PairwiseCity {
-	_, sp := obs.Start(ctx, "core.pairwise_city")
+	ctx, sp := obs.Start(ctx, "core.pairwise_city")
 	defer sp.End()
 	sp.SetAttr("db_a", a.Name())
 	sp.SetAttr("db_b", b.Name())
@@ -124,8 +124,8 @@ func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.A
 	parts := make([]PairwiseCity, workers)
 	runChunks(len(addrs), workers, func(ci, lo, hi int) {
 		chunk := addrs[lo:hi]
-		prefetch(a, chunk)
-		prefetch(b, chunk)
+		prefetch(ctx, a, chunk)
+		prefetch(ctx, b, chunk)
 		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
 		p := PairwiseCity{CDF: &stats.ECDF{}}
 		for _, addr := range chunk {

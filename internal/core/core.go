@@ -82,18 +82,19 @@ func (c Coverage) CityPct() float64    { return stats.Fraction(c.City, c.Total) 
 // remains the fallback, and transport-aware providers report outages
 // through their own error surface.
 type Prefetcher interface {
-	Prefetch(addrs []ipx.Addr) error
+	Prefetch(ctx context.Context, addrs []ipx.Addr) error
 }
 
-// prefetch offers addrs to db if it supports bulk resolution.
-func prefetch(db geodb.Provider, addrs []ipx.Addr) {
+// prefetch offers addrs to db if it supports bulk resolution, bounded by
+// the evaluation's ctx so cancellation stops the batched requests too.
+func prefetch(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) {
 	if p, ok := db.(Prefetcher); ok {
-		_ = p.Prefetch(addrs)
+		_ = p.Prefetch(ctx, addrs)
 	}
 }
 
 // prefetchTargets is prefetch over a target list's addresses.
-func prefetchTargets(db geodb.Provider, targets []Target) {
+func prefetchTargets(ctx context.Context, db geodb.Provider, targets []Target) {
 	if _, ok := db.(Prefetcher); !ok {
 		return
 	}
@@ -101,13 +102,13 @@ func prefetchTargets(db geodb.Provider, targets []Target) {
 	for i, t := range targets {
 		addrs[i] = t.Addr
 	}
-	prefetch(db, addrs)
+	prefetch(ctx, db, addrs)
 }
 
 // MeasureCoverage queries every address once. Large inputs are scored by
 // the parallel engine; the result is identical either way.
 func MeasureCoverage(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) Coverage {
-	_, sp := obs.Start(ctx, "core.coverage")
+	ctx, sp := obs.Start(ctx, "core.coverage")
 	defer sp.End()
 	sp.SetAttr("db", db.Name())
 	sp.SetItems(int64(len(addrs)))
@@ -118,7 +119,7 @@ func MeasureCoverage(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) C
 	parts := make([]Coverage, workers)
 	runChunks(len(addrs), workers, func(ci, lo, hi int) {
 		chunk := addrs[lo:hi]
-		prefetch(db, chunk)
+		prefetch(ctx, db, chunk)
 		parts[ci] = coverageChunk(geodb.LookupFunc(db), chunk, prog)
 	})
 	var c Coverage
@@ -177,7 +178,7 @@ func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a
 // the parallel engine, each worker filling a private partial whose raw
 // error samples are k-way merged back in chunk order.
 func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) Accuracy {
-	_, sp := obs.Start(ctx, "core.accuracy")
+	ctx, sp := obs.Start(ctx, "core.accuracy")
 	defer sp.End()
 	sp.SetAttr("db", db.Name())
 	sp.SetItems(int64(len(targets)))
@@ -186,7 +187,7 @@ func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) A
 	parts := make([]Accuracy, workers)
 	runChunks(len(targets), workers, func(ci, lo, hi int) {
 		chunk := targets[lo:hi]
-		prefetchTargets(db, chunk)
+		prefetchTargets(ctx, db, chunk)
 		parts[ci] = accuracyChunk(geodb.LookupFunc(db), chunk)
 	})
 	return mergeAccuracy(parts)

@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Middleware wraps a handler in the injector's fault schedule — the
+// server side of chaos testing (geoserve -chaos). Exempt paths pass
+// through without consuming a decision, so health and stats endpoints
+// stay observable and the fault schedule stays aligned with the lookup
+// traffic it is meant to disturb.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.exempt[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := in.Next()
+		switch d.Kind {
+		case KindLatency:
+			in.sleep(d.Delay)
+			next.ServeHTTP(w, r)
+		case KindError:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.Status)
+			fmt.Fprintf(w, `{"error":"chaos: injected %d"}`+"\n", d.Status)
+		case KindRateLimit:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.RetryAfter)))
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"chaos: injected throttle"}`+"\n")
+		case KindReset:
+			// net/http treats ErrAbortHandler as "kill the connection
+			// without logging": the client sees a mid-request reset.
+			panic(http.ErrAbortHandler)
+		case KindTruncate:
+			next.ServeHTTP(&truncateWriter{ResponseWriter: w, remaining: d.TruncateAt}, r)
+		case KindSlowLoris:
+			next.ServeHTTP(&dripWriter{
+				ResponseWriter: w,
+				chunk:          d.ChunkBytes,
+				delay:          d.Delay,
+				sleep:          in.sleep,
+			}, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// retryAfterSeconds rounds a throttle hint up to the whole seconds the
+// Retry-After header speaks.
+func retryAfterSeconds(d time.Duration) int {
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// truncateWriter lets the first remaining body bytes through and
+// silently swallows the rest, leaving the client an unparseable JSON
+// stump with a clean HTTP framing around it.
+type truncateWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (t *truncateWriter) Write(b []byte) (int, error) {
+	if t.remaining <= 0 {
+		// Report success so the wrapped handler keeps encoding; the
+		// bytes just never reach the wire.
+		return len(b), nil
+	}
+	n := len(b)
+	if n > t.remaining {
+		n = t.remaining
+	}
+	if _, err := t.ResponseWriter.Write(b[:n]); err != nil {
+		return 0, err
+	}
+	t.remaining -= n
+	return len(b), nil
+}
+
+// dripWriter forwards the response in small chunks with a pause between
+// each — a slow-loris server.
+type dripWriter struct {
+	http.ResponseWriter
+	chunk int
+	delay time.Duration
+	sleep func(time.Duration)
+	wrote bool
+}
+
+func (d *dripWriter) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		if d.wrote {
+			d.sleep(d.delay)
+		}
+		n := len(b)
+		if n > d.chunk {
+			n = d.chunk
+		}
+		m, err := d.ResponseWriter.Write(b[:n])
+		total += m
+		if err != nil {
+			return total, err
+		}
+		if f, ok := d.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		d.wrote = true
+		b = b[n:]
+	}
+	return total, nil
+}
+
+// RoundTripper wraps a transport in the injector's fault schedule — the
+// client side of chaos testing. nil next means http.DefaultTransport.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{in: in, next: next}
+}
+
+type roundTripper struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := rt.in
+	if in.exempt[req.URL.Path] {
+		return rt.next.RoundTrip(req)
+	}
+	d := in.Next()
+	switch d.Kind {
+	case KindLatency:
+		in.sleep(d.Delay)
+		return rt.next.RoundTrip(req)
+	case KindError:
+		return syntheticResponse(req, d.Status, nil,
+			fmt.Sprintf(`{"error":"chaos: injected %d"}`+"\n", d.Status)), nil
+	case KindRateLimit:
+		hdr := http.Header{"Retry-After": []string{strconv.Itoa(retryAfterSeconds(d.RetryAfter))}}
+		return syntheticResponse(req, http.StatusTooManyRequests, hdr,
+			`{"error":"chaos: injected throttle"}`+"\n"), nil
+	case KindReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp",
+			Err: errors.New("faults: injected connection reset")}
+	case KindTruncate:
+		resp, err := rt.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: d.TruncateAt}
+		return resp, nil
+	case KindSlowLoris:
+		resp, err := rt.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &slowBody{rc: resp.Body, chunk: d.ChunkBytes, delay: d.Delay, sleep: in.sleep}
+		return resp, nil
+	default:
+		return rt.next.RoundTrip(req)
+	}
+}
+
+// syntheticResponse fabricates an HTTP answer without touching the
+// wrapped transport.
+func syntheticResponse(req *http.Request, status int, hdr http.Header, body string) *http.Response {
+	if hdr == nil {
+		hdr = http.Header{}
+	}
+	hdr.Set("Content-Type", "application/json")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody serves the first remaining bytes of the real body and
+// then reports an unexpected EOF, as a connection dying mid-body would.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.rc.Read(p)
+	t.remaining -= n
+	if err == nil && t.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }
+
+// slowBody drips the real body out in small reads with a pause before
+// each.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	delay time.Duration
+	sleep func(time.Duration)
+	read  bool
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.read {
+		s.sleep(s.delay)
+	}
+	s.read = true
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }

@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Builtin returns the named policies geoserve -chaos accepts, at rates
+// and delays sized for live testing against a running server. Each is
+// seeded so two runs of the same policy inject the same schedule; Parse
+// can override any knob (Parse("errors:rate=0.5,seed=7")).
+func Builtin() []Policy {
+	return []Policy{
+		{Name: "latency", Seed: 1, Rules: []Rule{
+			{Kind: KindLatency, Rate: 0.25, Delay: 250 * time.Millisecond},
+		}},
+		{Name: "errors", Seed: 1, Rules: []Rule{
+			{Kind: KindError, Rate: 0.2, Status: 503, Burst: 2},
+		}},
+		{Name: "throttle", Seed: 1, Rules: []Rule{
+			{Kind: KindRateLimit, Rate: 0.2, RetryAfter: time.Second},
+		}},
+		{Name: "resets", Seed: 1, Rules: []Rule{
+			{Kind: KindReset, Rate: 0.15},
+		}},
+		{Name: "truncate", Seed: 1, Rules: []Rule{
+			{Kind: KindTruncate, Rate: 0.2, TruncateAt: 64},
+		}},
+		{Name: "slowloris", Seed: 1, Rules: []Rule{
+			{Kind: KindSlowLoris, Rate: 0.15, Delay: 50 * time.Millisecond, ChunkBytes: 512},
+		}},
+		{Name: "mixed", Seed: 1, Rules: []Rule{
+			{Kind: KindLatency, Rate: 0.1, Delay: 100 * time.Millisecond},
+			{Kind: KindError, Rate: 0.1, Status: 503, Burst: 1},
+			{Kind: KindRateLimit, Rate: 0.05, RetryAfter: time.Second},
+			{Kind: KindReset, Rate: 0.05},
+			{Kind: KindTruncate, Rate: 0.05, TruncateAt: 64},
+			{Kind: KindSlowLoris, Rate: 0.05, Delay: 20 * time.Millisecond, ChunkBytes: 512},
+		}},
+	}
+}
+
+// ByName returns the builtin policy with the given name.
+func ByName(name string) (Policy, bool) {
+	for _, p := range Builtin() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}
+
+// Parse resolves a -chaos policy spec: a builtin name, optionally
+// followed by policy-wide overrides applied to every rule:
+//
+//	latency
+//	errors:rate=0.5,seed=7
+//	mixed:delay=5ms,retryafter=1s,truncate=32,chunk=256,burst=0
+//
+// Keys: seed, rate, burst, delay, status, retryafter, truncate, chunk.
+func Parse(spec string) (Policy, error) {
+	name, params, _ := strings.Cut(spec, ":")
+	p, ok := ByName(name)
+	if !ok {
+		names := make([]string, 0, len(Builtin()))
+		for _, b := range Builtin() {
+			names = append(names, b.Name)
+		}
+		return Policy{}, fmt.Errorf("faults: unknown policy %q (have %s)", name, strings.Join(names, ", "))
+	}
+	if params == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found || key == "" || val == "" {
+			return Policy{}, fmt.Errorf("faults: malformed override %q (want key=value)", kv)
+		}
+		if err := applyOverride(&p, key, val); err != nil {
+			return Policy{}, err
+		}
+	}
+	return p, nil
+}
+
+// applyOverride sets one policy-wide knob on every rule it applies to.
+func applyOverride(p *Policy, key, val string) error {
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: seed=%q: %v", val, err)
+		}
+		p.Seed = n
+	case "rate":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("faults: rate=%q: want a probability in [0,1]", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].Rate = f
+		}
+	case "burst":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("faults: burst=%q: want a non-negative integer", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].Burst = n
+		}
+	case "delay":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: delay=%q: want a non-negative duration", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].Delay = d
+		}
+	case "status":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 500 || n > 599 {
+			return fmt.Errorf("faults: status=%q: want a 5xx status", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].Status = n
+		}
+	case "retryafter":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: retryafter=%q: want a non-negative duration", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].RetryAfter = d
+		}
+	case "truncate":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: truncate=%q: want a positive byte count", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].TruncateAt = n
+		}
+	case "chunk":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: chunk=%q: want a positive byte count", val)
+		}
+		for i := range p.Rules {
+			p.Rules[i].ChunkBytes = n
+		}
+	default:
+		return fmt.Errorf("faults: unknown override key %q", key)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"routergeo/internal/obs"
+)
+
+// Circuit-breaker defaults, applied by NewClient; WithBreaker overrides,
+// WithBreaker(0, ...) disables.
+const (
+	// DefaultBreakerThreshold is how many consecutive failed attempts
+	// trip the breaker open.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker rejects
+	// requests before letting one half-open probe through.
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// ErrCircuitOpen is returned (wrapped with the host) when the breaker
+// rejects a request without dialing: the host failed repeatedly and its
+// cool-down has not elapsed.
+var ErrCircuitOpen = errors.New("httpapi: circuit breaker open")
+
+// Breaker states. The wire/JSON form is the lowercase name.
+const (
+	breakerClosed int64 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerStateName maps a state gauge value to its JSON name.
+func breakerStateName(v int64) string {
+	switch v {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerStats is one host's circuit-breaker view inside a StatsResponse
+// (and Client.BreakerStats).
+type BreakerStats struct {
+	// State is "closed", "half-open" or "open".
+	State string `json:"state"`
+	// Opens counts closed→open transitions.
+	Opens int64 `json:"opens"`
+	// ShortCircuits counts requests rejected without dialing.
+	ShortCircuits int64 `json:"short_circuits"`
+}
+
+// breaker is a per-host circuit breaker: closed until threshold
+// consecutive failures, then open for cooldown, then half-open letting a
+// single probe decide between closing again and re-opening. It protects
+// a flailing server from retry storms and lets the degradation path fail
+// over to a local fallback quickly instead of timing out per address.
+type breaker struct {
+	host      string
+	threshold int
+	cooldown  time.Duration
+	// now is swapped out by tests to walk the cool-down clock.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    int64
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	opens         int64
+	shortCircuits int64
+
+	// Optional registry instruments (nil when the client has no
+	// metrics sink attached).
+	stateGauge   *obs.Gauge
+	opensCtr     *obs.Counter
+	shortCircCtr *obs.Counter
+}
+
+func newBreaker(host string, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		host:      host,
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// bindRegistry registers the breaker's instruments under
+// client.breaker.<host>.*, the prefix /v2/stats assembles its breakers
+// section from.
+func (b *breaker) bindRegistry(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prefix := "client.breaker." + b.host + "."
+	b.stateGauge = reg.Gauge(prefix + "state")
+	b.opensCtr = reg.Counter(prefix + "opens")
+	b.shortCircCtr = reg.Counter(prefix + "short_circuits")
+	b.stateGauge.Set(b.state)
+}
+
+// setState transitions the breaker and mirrors the gauge. Callers hold mu.
+func (b *breaker) setState(s int64) {
+	b.state = s
+	if b.stateGauge != nil {
+		b.stateGauge.Set(s)
+	}
+}
+
+// allow reports whether a request may proceed. Open breakers reject with
+// ErrCircuitOpen until the cool-down elapses; half-open breakers admit
+// exactly one probe at a time.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.setState(breakerHalfOpen)
+			b.probing = true
+			return nil
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	b.shortCircuits++
+	if b.shortCircCtr != nil {
+		b.shortCircCtr.Inc()
+	}
+	return fmt.Errorf("%w (host %s)", ErrCircuitOpen, b.host)
+}
+
+// success records a healthy attempt: any state collapses back to closed.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+	}
+}
+
+// failure records a failed attempt: threshold consecutive failures trip
+// the breaker, and a failed half-open probe re-opens it immediately.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		b.trip()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Callers hold mu.
+func (b *breaker) trip() {
+	b.failures = 0
+	b.openedAt = b.now()
+	b.setState(breakerOpen)
+	b.opens++
+	if b.opensCtr != nil {
+		b.opensCtr.Inc()
+	}
+}
+
+// stats snapshots the breaker for callers.
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:         breakerStateName(b.state),
+		Opens:         b.opens,
+		ShortCircuits: b.shortCircuits,
+	}
+}

@@ -1,0 +1,167 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
+)
+
+// fakeClock advances only when told, so breaker cool-downs need no real
+// waiting.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker("example:80", 3, time.Second)
+	b.now = clk.now
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker rejected attempt %d: %v", i, err)
+		}
+		b.failure()
+	}
+	if got := b.stats(); got.State != "closed" {
+		t.Fatalf("state after 2 failures = %q, want closed", got.State)
+	}
+
+	// Third consecutive failure trips it open.
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.failure()
+	if got := b.stats(); got.State != "open" || got.Opens != 1 {
+		t.Fatalf("state after threshold = %+v, want open with 1 open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker admitted a request (err = %v)", err)
+	}
+	if got := b.stats().ShortCircuits; got != 1 {
+		t.Fatalf("short circuits = %d, want 1", got)
+	}
+
+	// Cool-down elapses: one half-open probe, a second caller is rejected.
+	clk.advance(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if got := b.stats().State; got != "half-open" {
+		t.Fatalf("state during probe = %q, want half-open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+
+	// Failed probe re-opens immediately, full cool-down again.
+	b.failure()
+	if got := b.stats(); got.State != "open" || got.Opens != 2 {
+		t.Fatalf("state after failed probe = %+v, want open with 2 opens", got)
+	}
+
+	// Successful probe closes it and clears the failure count.
+	clk.advance(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.success()
+	if got := b.stats().State; got != "closed" {
+		t.Fatalf("state after good probe = %q, want closed", got)
+	}
+	b.failure() // one failure must not trip a freshly-closed breaker
+	if got := b.stats().State; got != "closed" {
+		t.Fatalf("state after single post-recovery failure = %q, want closed", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker("h", 3, time.Second)
+	for i := 0; i < 10; i++ { // alternating failure/success never trips
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if got := b.stats(); got.State != "closed" || got.Opens != 0 {
+		t.Fatalf("alternating outcomes tripped the breaker: %+v", got)
+	}
+}
+
+func TestBreakerRegistryInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := newBreaker("db.example:9000", 1, time.Minute)
+	b.bindRegistry(reg)
+	b.failure()
+	_ = b.allow() // short-circuits
+	snap := reg.Snapshot()
+	if got := snap.Gauges["client.breaker.db.example:9000.state"]; got != breakerOpen {
+		t.Errorf("state gauge = %d, want %d (open)", got, breakerOpen)
+	}
+	if got := snap.Counters["client.breaker.db.example:9000.opens"]; got != 1 {
+		t.Errorf("opens counter = %d, want 1", got)
+	}
+	if got := snap.Counters["client.breaker.db.example:9000.short_circuits"]; got != 1 {
+		t.Errorf("short_circuits counter = %d, want 1", got)
+	}
+}
+
+// TestClientBreakerShortCircuitsDeadHost proves the integration: a dead
+// host trips the client's breaker, later attempts stop dialing, and the
+// cool-down admits a probe that can close it once the host heals.
+func TestClientBreakerShortCircuitsDeadHost(t *testing.T) {
+	srv := testServer(t)
+	ft := &flakyTransport{failures: 1 << 30} // fail "forever" for now
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	c := NewClient(srv.URL,
+		WithDatabase("alpha"),
+		WithRetries(0),
+		WithBackoff(0),
+		WithBreaker(3, time.Second),
+		WithHTTPClient(&http.Client{Transport: ft}))
+	c.br.now = clk.now
+
+	ctx := context.Background()
+	addr := ipx.MustParseAddr("10.0.0.1")
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.TryLookup(ctx, addr); err == nil {
+			t.Fatalf("attempt %d against failing transport succeeded", i)
+		}
+	}
+	dialsSoFar := ft.calls.Load()
+	if _, _, err := c.TryLookup(ctx, addr); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("tripped breaker returned %v, want ErrCircuitOpen", err)
+	}
+	if got := ft.calls.Load(); got != dialsSoFar {
+		t.Fatalf("open breaker still dialed (round trips %d -> %d)", dialsSoFar, got)
+	}
+	if got := c.BreakerStats(); got.State != "open" || got.Opens != 1 || got.ShortCircuits == 0 {
+		t.Fatalf("BreakerStats = %+v", got)
+	}
+
+	// Host heals; after the cool-down the probe closes the breaker.
+	ft.calls.Store(1 << 30) // past "failures": transport succeeds from here on
+	clk.advance(time.Second)
+	if _, ok, err := c.TryLookup(ctx, addr); err != nil || !ok {
+		t.Fatalf("post-cooldown probe = (_, %v, %v), want success", ok, err)
+	}
+	if got := c.BreakerStats().State; got != "closed" {
+		t.Fatalf("breaker after healed probe = %q, want closed", got)
+	}
+}
+
+func TestClientBreakerDisabled(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", WithBreaker(0, time.Second))
+	if c.br != nil {
+		t.Fatal("WithBreaker(0, ...) must disable the breaker")
+	}
+	if got := c.BreakerStats(); got != (BreakerStats{}) {
+		t.Fatalf("disabled breaker stats = %+v, want zero value", got)
+	}
+}

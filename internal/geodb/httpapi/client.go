@@ -8,18 +8,22 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"routergeo/internal/geodb"
 	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
 )
 
 // Client defaults, applied by NewClient; a zero/struct-literal Client
-// behaves like the original v1 client (no retries, no timeout).
+// behaves like the original v1 client (no retries, no timeout, no
+// breaker).
 const (
 	DefaultRetries     = 2
 	DefaultBackoff     = 100 * time.Millisecond
@@ -29,13 +33,16 @@ const (
 	// BatchLookup; requests never exceed it even when the server would
 	// accept more.
 	DefaultClientMaxBatch = 10_000
+	// DefaultMaxBackoff caps any single retry delay, whatever the
+	// attempt count or Retry-After header asks for.
+	DefaultMaxBackoff = 30 * time.Second
 )
 
 // ClientOption configures NewClient.
 type ClientOption func(*Client)
 
-// WithRetries sets how many times a failed request (transport error or
-// 5xx) is reissued before giving up.
+// WithRetries sets how many times a failed request (transport error,
+// 5xx or 429) is reissued before giving up.
 func WithRetries(n int) ClientOption {
 	return func(c *Client) {
 		if n >= 0 {
@@ -44,11 +51,22 @@ func WithRetries(n int) ClientOption {
 	}
 }
 
-// WithBackoff sets the base retry delay; attempt k sleeps base<<k.
+// WithBackoff sets the base retry delay; attempt k waits up to base<<k,
+// jittered, never past the WithMaxBackoff cap.
 func WithBackoff(base time.Duration) ClientOption {
 	return func(c *Client) {
 		if base >= 0 {
 			c.backoff = base
+		}
+	}
+}
+
+// WithMaxBackoff caps every retry delay — the exponential schedule and
+// server Retry-After hints alike.
+func WithMaxBackoff(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.maxBackoff = d
 		}
 	}
 }
@@ -84,7 +102,7 @@ func WithDatabase(name string) ClientOption {
 }
 
 // WithHTTPClient swaps the underlying *http.Client (custom transports,
-// test round-trippers).
+// test round-trippers, chaos injection via faults.RoundTripper).
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.HTTPClient = h }
 }
@@ -95,9 +113,40 @@ func WithClientLogger(l *slog.Logger) ClientOption {
 	return func(c *Client) { c.logger = l }
 }
 
+// WithBreaker configures the per-host circuit breaker: threshold
+// consecutive failed attempts open it, and an open breaker rejects
+// requests for cooldown before letting a single probe through.
+// threshold 0 disables the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *Client) {
+		c.brThreshold = threshold
+		if cooldown > 0 {
+			c.brCooldown = cooldown
+		}
+	}
+}
+
+// WithClientMetrics registers the client's resilience instruments —
+// breaker state/opens/short-circuits under client.breaker.<host>.*,
+// outage tallies under client.outage.* — in reg. Handing it a server
+// Handler.Registry() makes them visible on that server's /v2/stats;
+// handing it an obs.Run registry lands them in the run manifest.
+func WithClientMetrics(reg *obs.Registry) ClientOption {
+	return func(c *Client) { c.reg = reg }
+}
+
+// WithBaseContext sets the context Provider-shaped entry points
+// (Lookup, TryLookup via RemoteProvider, Databases, Stats) derive their
+// request contexts from, since the geodb.Provider interface cannot carry
+// one. Cancelling it aborts their in-flight retries.
+func WithBaseContext(ctx context.Context) ClientOption {
+	return func(c *Client) { c.baseCtx = ctx }
+}
+
 // Client talks to a server created by NewHandler. The zero value with
 // only BaseURL set is a valid v1 client; NewClient additionally arms
-// retries, backoff, timeouts and batch concurrency.
+// retries, capped+jittered backoff, timeouts, batch concurrency and the
+// circuit breaker.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -109,15 +158,24 @@ type Client struct {
 
 	retries     int
 	backoff     time.Duration
+	maxBackoff  time.Duration
 	timeout     time.Duration
 	concurrency int
 	maxBatch    int
+	brThreshold int
+	brCooldown  time.Duration
+	baseCtx     context.Context
+	reg         *obs.Registry
 	// sleep is swapped out by tests to avoid real backoff waits.
 	sleep func(time.Duration)
+	// jitter picks a random duration in [0, n]; tests pin it to n so
+	// backoff assertions stay exact.
+	jitter func(n time.Duration) time.Duration
 	// logger defaults to slog.Default at call time, so binaries that
 	// configure logging flags after building the client still apply.
 	logger *slog.Logger
 
+	br            *breaker
 	transportErrs atomic.Int64
 	mu            sync.Mutex
 	lastErr       error
@@ -130,14 +188,40 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 		BaseURL:     baseURL,
 		retries:     DefaultRetries,
 		backoff:     DefaultBackoff,
+		maxBackoff:  DefaultMaxBackoff,
 		timeout:     DefaultTimeout,
 		concurrency: DefaultConcurrency,
 		maxBatch:    DefaultClientMaxBatch,
+		brThreshold: DefaultBreakerThreshold,
+		brCooldown:  DefaultBreakerCooldown,
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.brThreshold > 0 {
+		c.br = newBreaker(hostOf(baseURL), c.brThreshold, c.brCooldown)
+		if c.reg != nil {
+			c.br.bindRegistry(c.reg)
+		}
+	}
 	return c
+}
+
+// hostOf extracts the host a breaker is keyed by.
+func hostOf(baseURL string) string {
+	if u, err := url.Parse(baseURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return baseURL
+}
+
+// BreakerStats snapshots the circuit breaker. The zero value means the
+// breaker is disabled.
+func (c *Client) BreakerStats() BreakerStats {
+	if c.br == nil {
+		return BreakerStats{}
+	}
+	return c.br.stats()
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -161,6 +245,16 @@ func (c *Client) batchSize() int {
 	return DefaultClientMaxBatch
 }
 
+// rootCtx is the fallback for entry points whose signatures cannot carry
+// a context (the geodb.Provider interface); WithBaseContext overrides.
+func (c *Client) rootCtx() context.Context {
+	if c.baseCtx != nil {
+		return c.baseCtx
+	}
+	//lint:ignore ctxfirst Provider-shaped entry points have no context parameter; WithBaseContext is the threading path
+	return context.Background()
+}
+
 // Err returns the last transport-level error the client hit (nil when
 // every request so far succeeded). A remote-evaluation run checks this
 // after scoring: a non-nil value means some misses may be outages, not
@@ -172,7 +266,7 @@ func (c *Client) Err() error {
 }
 
 // TransportErrors counts transport-level failures (including exhausted
-// retries) over the client's lifetime.
+// retries and breaker rejections) over the client's lifetime.
 func (c *Client) TransportErrors() int64 { return c.transportErrs.Load() }
 
 func (c *Client) log() *slog.Logger {
@@ -184,48 +278,145 @@ func (c *Client) log() *slog.Logger {
 
 func (c *Client) recordErr(err error) {
 	c.transportErrs.Add(1)
+	if c.reg != nil {
+		c.reg.Counter("client.outage.transport_errors").Inc()
+	}
 	c.mu.Lock()
 	c.lastErr = err
 	c.mu.Unlock()
 }
 
 // retryable reports whether a response status warrants a retry: server
-// errors might heal; client errors will not.
-func retryable(status int) bool { return status >= 500 }
+// errors might heal and throttles ask for a later attempt; other client
+// errors will not change.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
 
-// do issues one request with the client's retry/backoff/timeout policy
-// and decodes the JSON answer into out. body non-nil makes it a POST.
-// Each retry emits a warn-level log line; exhausting all attempts logs a
-// summary, so outage-tainted runs are visible without polling Err.
-func (c *Client) do(path string, body []byte, out interface{}) error {
+// maxDelay is the hard cap on one retry sleep.
+func (c *Client) maxDelay() time.Duration {
+	if c.maxBackoff > 0 {
+		return c.maxBackoff
+	}
+	return DefaultMaxBackoff
+}
+
+// backoffDelay computes the attempt-th retry delay: capped exponential
+// growth from the base, with equal jitter (the delay lands uniformly in
+// [d/2, d]) so a fleet of clients retrying against one recovering server
+// does not stampede in lockstep. Shifts are capped before they can
+// overflow time.Duration — the bug that used to turn large WithRetries
+// values into negative, never-slept delays.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.backoff
+	if d <= 0 {
+		return 0
+	}
+	max := c.maxDelay()
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d >= max || d <= 0 { // d <= 0 means the shift overflowed
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + c.jitterIn(d-half)
+}
+
+// jitterIn picks a random duration in [0, n].
+func (c *Client) jitterIn(n time.Duration) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if c.jitter != nil {
+		return c.jitter(n)
+	}
+	return time.Duration(rand.Int63n(int64(n) + 1))
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes
+// first. The test hook bypasses real waiting but still honors an
+// already-cancelled context.
+func (c *Client) sleepCtx(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		c.sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues one request with the client's retry/backoff/timeout/breaker
+// policy and decodes the JSON answer into out. body non-nil makes it a
+// POST. The caller's ctx bounds the whole retry loop — cancellation
+// aborts in-flight attempts and pending backoff sleeps alike. Each retry
+// emits a warn-level log line; exhausting all attempts logs a summary,
+// so outage-tainted runs are visible without polling Err.
+func (c *Client) do(ctx context.Context, path string, body []byte, out interface{}) error {
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			delay := c.backoff << (attempt - 1)
+			delay := c.backoffDelay(attempt)
+			if retryAfter > 0 {
+				// Honor the server's throttle hint, inside the cap.
+				delay = retryAfter
+				if max := c.maxDelay(); delay > max {
+					delay = max
+				}
+			}
 			c.log().Warn("retrying request",
 				"path", path,
 				"attempt", attempt+1,
 				"max_attempts", c.retries+1,
 				"backoff", delay,
+				"retry_after", retryAfter,
 				"error", lastErr,
 			)
 			if delay > 0 {
-				sleep := c.sleep
-				if sleep == nil {
-					sleep = time.Sleep
+				if err := c.sleepCtx(ctx, delay); err != nil {
+					lastErr = err
+					break
 				}
-				sleep(delay)
 			}
 		}
-		status, err := c.once(path, body, out)
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		retryAfter = 0
+		if c.br != nil {
+			if err := c.br.allow(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		status, ra, err := c.once(ctx, path, body, out)
 		if err == nil && !retryable(status) {
+			if c.br != nil {
+				c.br.success() // any well-formed answer means the host is up
+			}
 			if status != http.StatusOK {
 				return fmt.Errorf("httpapi: %s: status %d", path, status)
 			}
 			return nil
 		}
+		if c.br != nil {
+			c.br.failure()
+		}
 		if err == nil {
 			err = fmt.Errorf("httpapi: %s: status %d", path, status)
+			retryAfter = ra
 		}
 		lastErr = err
 	}
@@ -239,9 +430,9 @@ func (c *Client) do(path string, body []byte, out interface{}) error {
 }
 
 // once issues a single attempt. A non-2xx status is returned for the
-// caller to classify; only transport-level failures come back as err.
-func (c *Client) once(path string, body []byte, out interface{}) (int, error) {
-	ctx := context.Background()
+// caller to classify (along with any Retry-After hint); only
+// transport-level failures come back as err.
+func (c *Client) once(ctx context.Context, path string, body []byte, out interface{}) (int, time.Duration, error) {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -253,33 +444,47 @@ func (c *Client) once(path string, body []byte, out interface{}) (int, error) {
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the connection can be reused, then report the status.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return resp.StatusCode, nil
+		return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, 0, nil
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header.
+// The HTTP-date form needs a wall-clock comparison and is rare on lookup
+// APIs, so it is treated as no hint.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Databases lists the server's databases (the stable /v1 shape).
 func (c *Client) Databases() ([]string, error) {
 	var names []string
-	if err := c.do("/v1/databases", nil, &names); err != nil {
+	if err := c.do(c.rootCtx(), "/v1/databases", nil, &names); err != nil {
 		return nil, err
 	}
 	return names, nil
@@ -289,7 +494,7 @@ func (c *Client) Databases() ([]string, error) {
 // resolution stats (/v2/databases).
 func (c *Client) DatabaseInfos() ([]DatabaseInfo, error) {
 	var infos []DatabaseInfo
-	if err := c.do("/v2/databases", nil, &infos); err != nil {
+	if err := c.do(c.rootCtx(), "/v2/databases", nil, &infos); err != nil {
 		return nil, err
 	}
 	return infos, nil
@@ -298,7 +503,7 @@ func (c *Client) DatabaseInfos() ([]DatabaseInfo, error) {
 // Stats fetches the server's /v2/stats counters.
 func (c *Client) Stats() (StatsResponse, error) {
 	var s StatsResponse
-	if err := c.do("/v2/stats", nil, &s); err != nil {
+	if err := c.do(c.rootCtx(), "/v2/stats", nil, &s); err != nil {
 		return StatsResponse{}, err
 	}
 	return s, nil
@@ -306,16 +511,16 @@ func (c *Client) Stats() (StatsResponse, error) {
 
 // LookupAll queries every database for one address.
 func (c *Client) LookupAll(ip string) (LookupResponse, error) {
-	return c.lookup(ip, "")
+	return c.lookup(c.rootCtx(), ip, "")
 }
 
-func (c *Client) lookup(ip, db string) (LookupResponse, error) {
+func (c *Client) lookup(ctx context.Context, ip, db string) (LookupResponse, error) {
 	path := "/v1/lookup?ip=" + url.QueryEscape(ip)
 	if db != "" {
 		path += "&db=" + url.QueryEscape(db)
 	}
 	var out LookupResponse
-	if err := c.do(path, nil, &out); err != nil {
+	if err := c.do(ctx, path, nil, &out); err != nil {
 		return LookupResponse{}, err
 	}
 	return out, nil
@@ -323,10 +528,12 @@ func (c *Client) lookup(ip, db string) (LookupResponse, error) {
 
 // BatchLookup resolves many addresses through POST /v2/lookup,
 // splitting the list into maxBatch-sized chunks fanned out over the
-// configured worker pool. The result preserves input order; malformed
-// addresses surface per-entry in BatchEntry.Error. The db filter is the
-// client's pinned DB (empty = all databases).
-func (c *Client) BatchLookup(ips []string) ([]BatchEntry, error) {
+// configured worker pool. ctx bounds the whole fan-out, retries
+// included — cancelling it stops workers mid-list. The result preserves
+// input order; malformed addresses surface per-entry in
+// BatchEntry.Error. The db filter is the client's pinned DB (empty =
+// all databases).
+func (c *Client) BatchLookup(ctx context.Context, ips []string) ([]BatchEntry, error) {
 	if len(ips) == 0 {
 		return nil, nil
 	}
@@ -356,14 +563,14 @@ func (c *Client) BatchLookup(ips []string) ([]BatchEntry, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(chunks) {
+				if i >= len(chunks) || ctx.Err() != nil {
 					return
 				}
 				ck := chunks[i]
 				body, err := json.Marshal(BatchRequest{IPs: ips[ck.lo:ck.hi], DB: c.DB})
 				if err == nil {
 					var resp BatchResponse
-					err = c.do("/v2/lookup", body, &resp)
+					err = c.do(ctx, "/v2/lookup", body, &resp)
 					if err == nil && len(resp.Entries) != ck.hi-ck.lo {
 						err = fmt.Errorf("httpapi: batch answer has %d entries, want %d",
 							len(resp.Entries), ck.hi-ck.lo)
@@ -382,6 +589,11 @@ func (c *Client) BatchLookup(ips []string) ([]BatchEntry, error) {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -394,12 +606,12 @@ func (c *Client) Name() string { return c.DB }
 // TryLookup resolves one address in the pinned database, distinguishing
 // a transport failure (err != nil) from a genuine database miss
 // (ok == false, err == nil) — the distinction Lookup's Provider
-// signature cannot express.
-func (c *Client) TryLookup(a ipx.Addr) (geodb.Record, bool, error) {
+// signature cannot express. ctx bounds the attempt and its retries.
+func (c *Client) TryLookup(ctx context.Context, a ipx.Addr) (geodb.Record, bool, error) {
 	if c.DB == "" {
 		return geodb.Record{}, false, errors.New("httpapi: no database pinned (set Client.DB or WithDatabase)")
 	}
-	resp, err := c.lookup(a.String(), c.DB)
+	resp, err := c.lookup(ctx, a.String(), c.DB)
 	if err != nil {
 		return geodb.Record{}, false, err
 	}
@@ -417,9 +629,10 @@ func (c *Client) TryLookup(a ipx.Addr) (geodb.Record, bool, error) {
 // but unlike the original client they are not silent: they tally in
 // TransportErrors and persist in Err, so an evaluation can detect
 // outage-tainted coverage numbers. Use TryLookup when the caller can
-// handle errors directly.
+// handle errors directly, and WithBaseContext to make these calls
+// cancellable.
 func (c *Client) Lookup(a ipx.Addr) (geodb.Record, bool) {
-	rec, ok, err := c.TryLookup(a)
+	rec, ok, err := c.TryLookup(c.rootCtx(), a)
 	if err != nil {
 		return geodb.Record{}, false
 	}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,21 @@ type StatsResponse struct {
 	DBs map[string]DBStats `json:"dbs"`
 	// Draining mirrors /healthz's shutdown state.
 	Draining bool `json:"draining"`
+
+	// The resilience sections below are omitted when empty, keeping the
+	// frozen pre-chaos shape for deployments that use none of it.
+
+	// Chaos tallies injected faults per kind when the server runs with
+	// -chaos (registry prefix chaos.injected.).
+	Chaos map[string]int64 `json:"chaos,omitempty"`
+	// Breakers is the per-host circuit-breaker view of any client that
+	// registered its instruments here via WithClientMetrics (registry
+	// prefix client.breaker.<host>.).
+	Breakers map[string]BreakerStats `json:"breakers,omitempty"`
+	// Taint tallies outage bookkeeping from such clients: transport
+	// errors, lookups degraded to a local fallback, lookups tainted as
+	// false misses (registry prefix client.outage.).
+	Taint map[string]int64 `json:"taint,omitempty"`
 }
 
 // dbTally is one database's pair of registry counters, resolved once at
@@ -151,5 +167,75 @@ func (m *metrics) snapshot() StatsResponse {
 	for name, t := range m.byDB {
 		out.DBs[name] = DBStats{Hits: t.hits.Value(), Misses: t.misses.Value()}
 	}
+	fillResilience(&out, m.reg.Snapshot())
 	return out
+}
+
+// fillResilience populates the omitempty chaos/breaker/taint sections by
+// prefix-scanning a registry snapshot. The instruments arrive from two
+// sides — the chaos middleware's observer and any Client pointed here by
+// WithClientMetrics — so scanning the registry is the only place they
+// all meet.
+func fillResilience(out *StatsResponse, snap obs.Snapshot) {
+	const (
+		chaosPrefix   = "chaos.injected."
+		breakerPrefix = "client.breaker."
+		outagePrefix  = "client.outage."
+	)
+	// splitBreaker resolves "client.breaker.<host>.<field>"; hosts can
+	// themselves contain dots, so the split is on the last one.
+	splitBreaker := func(name string) (host, field string, ok bool) {
+		rest := strings.TrimPrefix(name, breakerPrefix)
+		i := strings.LastIndex(rest, ".")
+		if i <= 0 {
+			return "", "", false
+		}
+		return rest[:i], rest[i+1:], true
+	}
+	breakers := map[string]*BreakerStats{}
+	breakerFor := func(host string) *BreakerStats {
+		bs, ok := breakers[host]
+		if !ok {
+			bs = &BreakerStats{State: breakerStateName(breakerClosed)}
+			breakers[host] = bs
+		}
+		return bs
+	}
+	for name, v := range snap.Counters {
+		switch {
+		case strings.HasPrefix(name, chaosPrefix):
+			if out.Chaos == nil {
+				out.Chaos = make(map[string]int64)
+			}
+			out.Chaos[strings.TrimPrefix(name, chaosPrefix)] = v
+		case strings.HasPrefix(name, outagePrefix):
+			if out.Taint == nil {
+				out.Taint = make(map[string]int64)
+			}
+			out.Taint[strings.TrimPrefix(name, outagePrefix)] = v
+		case strings.HasPrefix(name, breakerPrefix):
+			host, field, ok := splitBreaker(name)
+			if !ok {
+				continue
+			}
+			switch field {
+			case "opens":
+				breakerFor(host).Opens = v
+			case "short_circuits":
+				breakerFor(host).ShortCircuits = v
+			}
+		}
+	}
+	for name, v := range snap.Gauges {
+		if host, field, ok := splitBreaker(name); ok && field == "state" &&
+			strings.HasPrefix(name, breakerPrefix) {
+			breakerFor(host).State = breakerStateName(v)
+		}
+	}
+	if len(breakers) > 0 {
+		out.Breakers = make(map[string]BreakerStats, len(breakers))
+		for host, bs := range breakers {
+			out.Breakers[host] = *bs
+		}
+	}
 }

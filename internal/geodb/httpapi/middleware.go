@@ -28,10 +28,16 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 
 // recoveryMiddleware converts a handler panic into a 500 instead of
 // tearing down the connection (and, under http.Server, the goroutine).
+// http.ErrAbortHandler is re-raised: it is the sanctioned "kill this
+// connection" signal — the chaos middleware's reset fault rides on it —
+// and turning it into a tidy 500 would defeat its purpose.
 func recoveryMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
 				// Headers may already be out; WriteHeader then is a no-op
 				// warning at worst.
 				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal error"})

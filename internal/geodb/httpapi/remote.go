@@ -1,8 +1,10 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"routergeo/internal/geodb"
 	"routergeo/internal/ipx"
@@ -19,8 +21,24 @@ import (
 // paper's 1.64M-address sweep into a few dozen pipelined requests.
 // Addresses that were never prefetched fall back to a single remote
 // lookup per call.
+//
+// When the remote is unreachable (retries exhausted, circuit open) the
+// provider degrades instead of silently mis-scoring:
+//
+//   - with WithFallback, the answer comes from the local fallback
+//     provider and the lookup counts as degraded;
+//   - without one, the lookup counts as tainted and reports a miss,
+//     uncached, so a later attempt can still hit a healed server.
+//
+// Degraded/tainted tallies surface through Degraded/Tainted, the
+// client's metrics registry (client.outage.*) and, via obs.Run.SetTaint,
+// the run manifest.
 type RemoteProvider struct {
-	c *Client
+	c        *Client
+	fallback geodb.Provider
+
+	degraded atomic.Int64
+	tainted  atomic.Int64
 
 	mu    sync.RWMutex
 	cache map[ipx.Addr]cachedRecord
@@ -31,23 +49,41 @@ type cachedRecord struct {
 	found bool
 }
 
+// RemoteOption configures NewRemoteProvider.
+type RemoteOption func(*RemoteProvider)
+
+// WithFallback arms graceful degradation: when the remote cannot answer,
+// lookups are served by local instead of reporting a (wrong) miss. For
+// the degradation to be lossless, local must hold the same database the
+// client is pinned to.
+func WithFallback(local geodb.Provider) RemoteOption {
+	return func(p *RemoteProvider) { p.fallback = local }
+}
+
 // NewRemoteProvider wraps c, which must have a database pinned
 // (Client.DB / WithDatabase) so lookups have a well-defined answer.
-func NewRemoteProvider(c *Client) (*RemoteProvider, error) {
+func NewRemoteProvider(c *Client, opts ...RemoteOption) (*RemoteProvider, error) {
 	if c.DB == "" {
 		return nil, fmt.Errorf("httpapi: RemoteProvider needs a pinned database (set Client.DB or WithDatabase)")
 	}
-	return &RemoteProvider{c: c, cache: make(map[ipx.Addr]cachedRecord)}, nil
+	p := &RemoteProvider{c: c, cache: make(map[ipx.Addr]cachedRecord)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
 }
 
 // Name implements geodb.Provider.
 func (p *RemoteProvider) Name() string { return p.c.DB }
 
 // Prefetch resolves every not-yet-cached address through batched,
-// concurrent /v2/lookup requests. It is idempotent and cheap to call
-// repeatedly with overlapping address sets (per-RIR and per-country
-// evaluation slices re-prefetch subsets of the same targets).
-func (p *RemoteProvider) Prefetch(addrs []ipx.Addr) error {
+// concurrent /v2/lookup requests, bounded by ctx. It is idempotent and
+// cheap to call repeatedly with overlapping address sets (per-RIR and
+// per-country evaluation slices re-prefetch subsets of the same
+// targets). When the remote cannot serve the batch and a fallback is
+// armed, the whole missing set is resolved locally instead — degraded
+// but correct.
+func (p *RemoteProvider) Prefetch(ctx context.Context, addrs []ipx.Addr) error {
 	p.mu.RLock()
 	missing := make([]string, 0, len(addrs))
 	seen := make(map[ipx.Addr]bool, len(addrs))
@@ -67,9 +103,19 @@ func (p *RemoteProvider) Prefetch(addrs []ipx.Addr) error {
 		return nil
 	}
 
-	entries, err := p.c.BatchLookup(missing)
+	entries, err := p.c.BatchLookup(ctx, missing)
 	if err != nil {
-		return err
+		if p.fallback == nil {
+			return err
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, a := range order {
+			rec, found := p.fallback.Lookup(a)
+			p.cache[a] = cachedRecord{rec: rec, found: found}
+		}
+		p.countDegraded(int64(len(order)))
+		return nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -85,10 +131,9 @@ func (p *RemoteProvider) Prefetch(addrs []ipx.Addr) error {
 
 // Lookup implements geodb.Provider: cached answers are served locally;
 // anything else falls back to one remote lookup (negative answers are
-// cached too, so an uncovered address costs one round trip once).
-// Transport failures surface as misses per the Provider contract but
-// tally on the underlying Client — check Err/TransportErrors after an
-// evaluation to detect outage-tainted results.
+// cached too, so an uncovered address costs one round trip once). When
+// the remote cannot answer, the call degrades per the provider contract
+// described on RemoteProvider.
 func (p *RemoteProvider) Lookup(a ipx.Addr) (geodb.Record, bool) {
 	p.mu.RLock()
 	c, ok := p.cache[a]
@@ -96,8 +141,19 @@ func (p *RemoteProvider) Lookup(a ipx.Addr) (geodb.Record, bool) {
 	if ok {
 		return c.rec, c.found
 	}
-	rec, found, err := p.c.TryLookup(a)
+	rec, found, err := p.c.TryLookup(p.c.rootCtx(), a)
 	if err != nil {
+		if p.fallback != nil {
+			rec, found = p.fallback.Lookup(a)
+			// Cached: the fallback holds the same database, and caching
+			// keeps a dead remote from being re-dialed per address.
+			p.mu.Lock()
+			p.cache[a] = cachedRecord{rec: rec, found: found}
+			p.mu.Unlock()
+			p.countDegraded(1)
+			return rec, found
+		}
+		p.countTainted(1)
 		// Not cached: a later retry against a healed server may answer.
 		return geodb.Record{}, false
 	}
@@ -106,6 +162,30 @@ func (p *RemoteProvider) Lookup(a ipx.Addr) (geodb.Record, bool) {
 	p.mu.Unlock()
 	return rec, found
 }
+
+func (p *RemoteProvider) countDegraded(n int64) {
+	p.degraded.Add(n)
+	if p.c.reg != nil {
+		p.c.reg.Counter("client.outage.degraded_lookups").Add(n)
+	}
+}
+
+func (p *RemoteProvider) countTainted(n int64) {
+	p.tainted.Add(n)
+	if p.c.reg != nil {
+		p.c.reg.Counter("client.outage.tainted_lookups").Add(n)
+	}
+}
+
+// Degraded counts lookups answered by the local fallback because the
+// remote was unreachable. Non-zero means the run survived an outage
+// losslessly (assuming the fallback matches the remote database).
+func (p *RemoteProvider) Degraded() int64 { return p.degraded.Load() }
+
+// Tainted counts lookups that reported a miss only because the remote
+// was unreachable and no fallback was armed. Non-zero means coverage
+// numbers undercount and the run manifest should carry the taint.
+func (p *RemoteProvider) Tainted() int64 { return p.tainted.Load() }
 
 // Cached reports how many addresses are resolved locally.
 func (p *RemoteProvider) Cached() int {

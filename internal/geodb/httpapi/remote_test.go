@@ -1,12 +1,15 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"routergeo/internal/ipx"
+	"routergeo/internal/obs"
 )
 
 func TestRemoteProviderNeedsPinnedDB(t *testing.T) {
@@ -46,7 +49,7 @@ func TestRemoteProviderPrefetchMatchesLocal(t *testing.T) {
 	}
 	addrs = append(addrs, ipx.MustParseAddr("192.0.2.7")) // a genuine miss
 
-	if err := p.Prefetch(addrs); err != nil {
+	if err := p.Prefetch(context.Background(), addrs); err != nil {
 		t.Fatal(err)
 	}
 	wantReqs := int64((len(addrs) + 49) / 50)
@@ -72,7 +75,7 @@ func TestRemoteProviderPrefetchMatchesLocal(t *testing.T) {
 	}
 
 	// Re-prefetching the same set is free.
-	if err := p.Prefetch(addrs); err != nil {
+	if err := p.Prefetch(context.Background(), addrs); err != nil {
 		t.Fatal(err)
 	}
 	if got := ct.calls.Load(); got != before {
@@ -105,7 +108,7 @@ func TestRemoteProviderPrefetchSurfacesOutage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Prefetch([]ipx.Addr{ipx.MustParseAddr("10.0.0.1")}); err == nil {
+	if err := p.Prefetch(context.Background(), []ipx.Addr{ipx.MustParseAddr("10.0.0.1")}); err == nil {
 		t.Fatal("prefetch against a dead server must error")
 	}
 	if p.Err() == nil || p.TransportErrors() == 0 {
@@ -127,12 +130,12 @@ func TestRemoteProviderPartialPrefetchTopUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := []ipx.Addr{ipx.MustParseAddr("10.0.0.1"), ipx.MustParseAddr("10.0.0.2")}
-	if err := p.Prefetch(first); err != nil {
+	if err := p.Prefetch(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
 	// A superset prefetch only fetches the delta.
 	super := append(append([]ipx.Addr(nil), first...), ipx.MustParseAddr("10.0.0.3"))
-	if err := p.Prefetch(super); err != nil {
+	if err := p.Prefetch(context.Background(), super); err != nil {
 		t.Fatal(err)
 	}
 	if got := ct.calls.Load(); got != 2 {
@@ -140,5 +143,90 @@ func TestRemoteProviderPartialPrefetchTopUp(t *testing.T) {
 	}
 	if p.Cached() != 3 {
 		t.Errorf("Cached = %d, want 3", p.Cached())
+	}
+}
+
+func TestRemoteProviderDegradesToFallback(t *testing.T) {
+	local := testDBs(t)[0] // alpha, same content the server would serve
+	reg := obs.NewRegistry()
+	dead := NewClient("http://127.0.0.1:1",
+		WithDatabase("alpha"),
+		WithRetries(0),
+		WithTimeout(time.Second),
+		WithClientMetrics(reg))
+	p, err := NewRemoteProvider(dead, WithFallback(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := []ipx.Addr{
+		ipx.MustParseAddr("10.0.0.1"),
+		ipx.MustParseAddr("10.0.0.2"),
+		ipx.MustParseAddr("192.0.2.7"), // a genuine miss, even locally
+	}
+	// Prefetch against the dead server falls back wholesale.
+	if err := p.Prefetch(context.Background(), addrs); err != nil {
+		t.Fatalf("prefetch with fallback must degrade, not fail: %v", err)
+	}
+	for _, a := range addrs {
+		lr, lok := local.Lookup(a)
+		rr, rok := p.Lookup(a)
+		if lok != rok || lr != rr {
+			t.Fatalf("%s: degraded (%+v,%v) != local (%+v,%v)", a, rr, rok, lr, lok)
+		}
+	}
+	if got := p.Degraded(); got != int64(len(addrs)) {
+		t.Errorf("Degraded = %d, want %d", got, len(addrs))
+	}
+	if got := p.Tainted(); got != 0 {
+		t.Errorf("Tainted = %d, want 0 (fallback answered)", got)
+	}
+
+	// An un-prefetched address degrades per lookup too.
+	extra := ipx.MustParseAddr("10.0.0.9")
+	lr, lok := local.Lookup(extra)
+	if rr, rok := p.Lookup(extra); rok != lok || rr != lr {
+		t.Fatalf("per-lookup degradation = (%+v,%v), want local answer", rr, rok)
+	}
+	if got := p.Degraded(); got != int64(len(addrs))+1 {
+		t.Errorf("Degraded = %d, want %d", got, len(addrs)+1)
+	}
+
+	// The registry carries the tallies for /v2/stats and the manifest.
+	snap := reg.Snapshot()
+	if got := snap.Counters["client.outage.degraded_lookups"]; got != int64(len(addrs))+1 {
+		t.Errorf("degraded_lookups counter = %d, want %d", got, len(addrs)+1)
+	}
+	if snap.Counters["client.outage.transport_errors"] == 0 {
+		t.Error("transport_errors counter = 0, want > 0")
+	}
+}
+
+func TestRemoteProviderTaintsWithoutFallback(t *testing.T) {
+	reg := obs.NewRegistry()
+	dead := NewClient("http://127.0.0.1:1",
+		WithDatabase("alpha"),
+		WithRetries(0),
+		WithTimeout(time.Second),
+		WithClientMetrics(reg))
+	p, err := NewRemoteProvider(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ipx.MustParseAddr("10.0.0.1")
+	if _, ok := p.Lookup(a); ok {
+		t.Fatal("outage lookup without fallback must miss")
+	}
+	if got := p.Tainted(); got != 1 {
+		t.Errorf("Tainted = %d, want 1", got)
+	}
+	if got := p.Degraded(); got != 0 {
+		t.Errorf("Degraded = %d, want 0 (no fallback armed)", got)
+	}
+	if p.Cached() != 0 {
+		t.Error("tainted misses must not be cached; a healed server should get asked again")
+	}
+	if got := reg.Snapshot().Counters["client.outage.tainted_lookups"]; got != 1 {
+		t.Errorf("tainted_lookups counter = %d, want 1", got)
 	}
 }

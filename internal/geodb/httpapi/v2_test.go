@@ -2,12 +2,14 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"routergeo/internal/ipx"
 )
@@ -205,7 +207,7 @@ func TestV2Stats(t *testing.T) {
 	if _, ok := c.Lookup(ipx.MustParseAddr("192.0.2.1")); ok {
 		t.Fatal("lookup should miss")
 	}
-	if _, err := c.BatchLookup([]string{"10.0.0.9"}); err != nil {
+	if _, err := c.BatchLookup(context.Background(), []string{"10.0.0.9"}); err != nil {
 		t.Fatal(err)
 	}
 	s, err := c.Stats()
@@ -274,5 +276,60 @@ func TestRecoveryMiddleware(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestV2StatsSurfacesResilience proves the chaos/breaker/taint sections
+// appear in /v2/stats when a client registers its instruments in the
+// handler's registry (WithClientMetrics), and stay omitted otherwise.
+func TestV2StatsSurfacesResilience(t *testing.T) {
+	h := NewHandler(testDBs(t))
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	// Plain deployments keep the frozen pre-chaos shape.
+	plain := NewClient(srv.URL)
+	s, err := plain.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chaos != nil || s.Breakers != nil || s.Taint != nil {
+		t.Fatalf("fresh stats carry resilience sections: %+v", s)
+	}
+
+	// A client against a dead host, reporting into this server's
+	// registry: trip its breaker and taint a lookup.
+	dead := NewClient("http://127.0.0.1:1",
+		WithDatabase("alpha"),
+		WithRetries(0),
+		WithTimeout(time.Second),
+		WithBreaker(2, time.Minute),
+		WithClientMetrics(h.Registry()))
+	p, err := NewRemoteProvider(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // 2 failures trip it; the 3rd short-circuits
+		p.Lookup(ipx.MustParseAddr("10.0.0.1"))
+	}
+	// The chaos middleware's observer feeds the same registry prefix.
+	h.Registry().Counter("chaos.injected.error").Add(3)
+
+	s, err = plain.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Chaos["error"]; got != 3 {
+		t.Errorf("Chaos[error] = %d, want 3", got)
+	}
+	bs, ok := s.Breakers["127.0.0.1:1"]
+	if !ok {
+		t.Fatalf("Breakers = %+v, want an entry for 127.0.0.1:1", s.Breakers)
+	}
+	if bs.State != "open" || bs.Opens != 1 || bs.ShortCircuits == 0 {
+		t.Errorf("breaker section = %+v", bs)
+	}
+	if s.Taint["transport_errors"] == 0 || s.Taint["tainted_lookups"] == 0 {
+		t.Errorf("Taint = %+v, want transport_errors and tainted_lookups > 0", s.Taint)
 	}
 }

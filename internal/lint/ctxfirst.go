@@ -5,12 +5,16 @@ import (
 )
 
 // ctxPkgs are the packages PR 2 threaded context.Context through so the
-// run's trace span reaches every build and measurement stage.
+// run's trace span reaches every build and measurement stage. PR 5
+// extended the convention to the HTTP client package when it threaded
+// caller contexts through the retry loop: a minted context there had
+// made remote lookups uncancellable.
 var ctxPkgs = []string{
 	"routergeo/internal/core",
 	"routergeo/internal/groundtruth",
 	"routergeo/internal/ark",
 	"routergeo/internal/experiments",
+	"routergeo/internal/geodb/httpapi",
 }
 
 // CtxFirst enforces the context-threading convention in the pipeline
@@ -20,12 +24,12 @@ var ctxPkgs = []string{
 // context (carrying the trace span) must flow through instead.
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
-	Doc: "In internal/core, internal/groundtruth, internal/ark and " +
-		"internal/experiments, context.Context must be the first parameter " +
-		"of any function that takes one, and context.Background/TODO are " +
-		"forbidden: contexts are threaded from the binary down, never " +
-		"created mid-pipeline, so trace spans and cancellation reach every " +
-		"stage.",
+	Doc: "In internal/core, internal/groundtruth, internal/ark, " +
+		"internal/experiments and internal/geodb/httpapi, context.Context " +
+		"must be the first parameter of any function that takes one, and " +
+		"context.Background/TODO are forbidden: contexts are threaded from " +
+		"the binary down, never created mid-pipeline, so trace spans and " +
+		"cancellation reach every stage.",
 	Run: runCtxFirst,
 }
 

@@ -117,6 +117,15 @@ func TestCtxFirstOutOfScope(t *testing.T) {
 	}
 }
 
+// TestCtxFirstHTTPAPIScope pins the PR 5 scope extension: the HTTP
+// client package is covered (minting a context there made remote
+// lookups uncancellable), while its parent internal/geodb — checked by
+// TestCtxFirstOutOfScope above — stays out.
+func TestCtxFirstHTTPAPIScope(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixctx", "routergeo/internal/geodb/httpapi/fixctx", []*Analyzer{CtxFirst})
+}
+
 func TestStdlibOnlyFixture(t *testing.T) {
 	l := newTestLoader(t)
 	checkFixture(t, l, "fixdeps", "routergeo/internal/hints/fixdeps", []*Analyzer{StdlibOnly})

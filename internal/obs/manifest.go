@@ -22,6 +22,7 @@ type Run struct {
 	seed   *int64
 	config json.RawMessage
 	counts map[string]int64
+	taint  map[string]int64
 }
 
 // NewRun starts a run for the named tool. The root span starts now and
@@ -74,6 +75,19 @@ func (r *Run) SetCount(name string, n int64) {
 	r.mu.Unlock()
 }
 
+// SetTaint records a named count of results degraded by infrastructure
+// trouble rather than by the data itself (e.g. remote lookups served by
+// a fallback, or misses fabricated by an outage). A zero n is recorded
+// too: "checked, clean" and "never checked" read differently.
+func (r *Run) SetTaint(name string, n int64) {
+	r.mu.Lock()
+	if r.taint == nil {
+		r.taint = map[string]int64{}
+	}
+	r.taint[name] = n
+	r.mu.Unlock()
+}
+
 // Manifest is the machine-readable run record written at exit.
 type Manifest struct {
 	Tool      string           `json:"tool"`
@@ -86,8 +100,12 @@ type Manifest struct {
 	Seed      *int64           `json:"seed,omitempty"`
 	Config    json.RawMessage  `json:"config,omitempty"`
 	Counts    map[string]int64 `json:"counts,omitempty"`
-	Stages    SpanSnapshot     `json:"stages"`
-	Metrics   *Snapshot        `json:"metrics,omitempty"`
+	// Taint flags results degraded by outages during the run — non-empty
+	// means the numbers are reproducible but were produced under duress
+	// (see Run.SetTaint).
+	Taint   map[string]int64 `json:"taint,omitempty"`
+	Stages  SpanSnapshot     `json:"stages"`
+	Metrics *Snapshot        `json:"metrics,omitempty"`
 }
 
 // Manifest ends the root span and builds the run record. Safe to call
@@ -111,6 +129,12 @@ func (r *Run) Manifest() Manifest {
 		m.Counts = make(map[string]int64, len(r.counts))
 		for k, v := range r.counts {
 			m.Counts[k] = v
+		}
+	}
+	if len(r.taint) > 0 {
+		m.Taint = make(map[string]int64, len(r.taint))
+		for k, v := range r.taint {
+			m.Taint[k] = v
 		}
 	}
 	r.mu.Unlock()
