@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race chaos bench bench-compare
+.PHONY: check vet fmt lint build test race chaos bench bench-compare fuzz-snap
 
 check: vet fmt lint build race
 
@@ -54,11 +54,25 @@ chaos:
 BENCH_PATTERN = Coverage|Accuracy|Consistency|Lookup|ECDF
 BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/...
 
+# Snapshot benchmarks: write/decode/open throughput and lookup latency
+# heap vs memory-mapped. Teed into BENCH_snap.json, the committed
+# baseline bench-compare gates against alongside the engine numbers.
+SNAP_BENCH_PATTERN = Write|Decode|Open|Lookup
+SNAP_BENCH_PKGS = ./internal/geodb/snapshot/...
+
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.json
+	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.json
 
 # bench-compare re-runs the engine benchmarks and fails on any ns/op
 # regression past the threshold against the committed baseline.
 bench-compare:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.new.json
 	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold 1.30
+	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_snap.json -new BENCH_snap.new.json -threshold 1.30
+
+# 10-second snapshot decoder fuzz smoke — the same job CI runs. The
+# corpus seeds live in the package; findings land in testdata/fuzz.
+fuzz-snap:
+	$(GO) test -run ^$$ -fuzz FuzzDecode -fuzztime 10s ./internal/geodb/snapshot/

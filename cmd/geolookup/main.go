@@ -2,19 +2,22 @@
 // addresses, printing each database's answer side by side — a miniature
 // of the pairwise-consistency view the paper builds at scale.
 //
-// Local mode reads exported .rgdb/.csv files (written by cmd/routergeo
-// -dbdir or Study.ExportDatabases); remote mode queries a running
-// geoserve instance through the batch /v2/lookup endpoint.
+// Local mode reads exported database files (written by cmd/routergeo
+// -dbdir, cmd/geosnap or Study.ExportDatabases); remote mode queries a
+// running geoserve instance through the batch /v2/lookup endpoint.
 //
 // Usage:
 //
-//	geolookup -db dir_or_file [-db ...] ip [ip...]       # local files
-//	geolookup -server http://host:8080 [-rdb N] [ip...]  # remote /v2
+//	geolookup -db dir_or_file [-db ...] [-format F] ip [ip...]  # local files
+//	geolookup -server http://host:8080 [-rdb N] [ip...]         # remote /v2
 //
-// Each -db flag names one .rgdb or .csv database file, or a directory
-// containing several. In remote mode, addresses missing from the
-// command line are read from stdin (one per line), so a whole Ark-style
-// address file pipes through one batched request stream:
+// Each -db flag names one database file (.rgdb, .csv or .rgsnap), or a
+// directory containing several. Formats are sniffed by magic bytes, not
+// extension; -format {csv,dbfile,snap} instead asserts a single-file
+// format and fails loudly on a mismatch. In remote mode, addresses
+// missing from the command line are read from stdin (one per line), so
+// a whole Ark-style address file pipes through one batched request
+// stream:
 //
 //	geolookup -server http://host:8080 < addrs.txt
 package main
@@ -25,13 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
 	"routergeo/internal/geodb"
-	"routergeo/internal/geodb/dbcsv"
-	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/dbload"
 	"routergeo/internal/geodb/httpapi"
 	"routergeo/internal/ipx"
 	"routergeo/internal/obs"
@@ -46,10 +47,12 @@ func main() {
 	var (
 		server   = flag.String("server", "", "geoserve base URL; queries /v2/lookup instead of local files")
 		remoteDB = flag.String("rdb", "", "with -server: restrict lookups to one database name")
+		format   = dbload.Auto
 		dbPaths  dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
-	flag.Var(&dbPaths, "db", "path to a .rgdb file or a directory of them (repeatable)")
+	flag.Var(&dbPaths, "db", "path to a database file or a directory of them (repeatable)")
+	flag.Var(&format, "format", "assert the file format: csv, dbfile or snap (default: sniff magic bytes)")
 	flag.Parse()
 
 	// Setup installs the slog default the client's retry warnings go to.
@@ -63,14 +66,14 @@ func main() {
 	}
 
 	if len(dbPaths) == 0 || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: geolookup -db dir_or_file [-db ...] ip [ip...]")
+		fmt.Fprintln(os.Stderr, "usage: geolookup -db dir_or_file [-db ...] [-format F] ip [ip...]")
 		fmt.Fprintln(os.Stderr, "       geolookup -server URL [-rdb name] [ip...] (< addrs.txt)")
 		os.Exit(2)
 	}
 
 	var dbs []*geodb.DB
 	for _, p := range dbPaths {
-		loaded, err := loadPath(p)
+		loaded, err := loadPath(p, format)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "geolookup:", err)
 			os.Exit(1)
@@ -181,45 +184,29 @@ func printAnswer(name string, r httpapi.RecordJSON) {
 	}
 }
 
-// loadPath loads one .rgdb file, or every *.rgdb file in a directory.
-func loadPath(p string) ([]*geodb.DB, error) {
+// loadPath loads one database file in any supported format (sniffed by
+// magic bytes, or asserted by -format), or every database artifact in a
+// directory. Snapshot mappings stay open for the process lifetime: a
+// one-shot CLI never retires a generation.
+func loadPath(p string, format dbload.Format) ([]*geodb.DB, error) {
 	info, err := os.Stat(p)
 	if err != nil {
 		return nil, err
 	}
 	if !info.IsDir() {
-		db, err := loadFile(p)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
-		}
-		return []*geodb.DB{db}, nil
-	}
-	var out []*geodb.DB
-	for _, pattern := range []string{"*.rgdb", "*.csv"} {
-		matches, err := filepath.Glob(filepath.Join(p, pattern))
+		l, err := dbload.Open(p, format)
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range matches {
-			db, err := loadFile(m)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", m, err)
-			}
-			out = append(out, db)
-		}
+		return []*geodb.DB{l.DB}, nil
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no .rgdb or .csv files", p)
+	loaded, err := dbload.OpenDir(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*geodb.DB, 0, len(loaded))
+	for _, l := range loaded {
+		out = append(out, l.DB)
 	}
 	return out, nil
-}
-
-// loadFile dispatches on extension: the binary format self-describes its
-// name; CSV databases are named after their file.
-func loadFile(p string) (*geodb.DB, error) {
-	if strings.HasSuffix(p, ".csv") {
-		name := strings.TrimSuffix(filepath.Base(p), ".csv")
-		return dbcsv.ReadFile(p, name)
-	}
-	return dbfile.ReadFile(p)
 }

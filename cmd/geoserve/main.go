@@ -1,16 +1,30 @@
 // Command geoserve exposes geolocation databases over HTTP, the way the
-// commercial products are consumed in production. It serves either
-// exported .rgdb files or the four simulated databases of a freshly
-// built study.
+// commercial products are consumed in production. It serves exported
+// database files (any format, sniffed by magic bytes), the four
+// simulated databases of a freshly built study, or — for zero-downtime
+// operation — a directory of .rgsnap snapshots it hot-reloads from.
 //
 // Usage:
 //
-//	geoserve [-addr :8080] [-db dir_or_file]...   # serve exported files
-//	geoserve [-addr :8080] -build [-seed N]       # build a study and serve it
+//	geoserve [-addr :8080] [-db dir_or_file]...       # serve exported files
+//	geoserve [-addr :8080] -build [-seed N]           # build a study and serve it
+//	geoserve [-addr :8080] -snap-dir dir [-admin]     # serve snapshots, hot-reload on change
 //
 // Endpoints: GET /v1/databases, GET /v1/lookup?ip=A[&db=N] (stable),
-// POST /v2/lookup (batch), GET /v2/databases, GET /v2/stats, and
-// GET /healthz (which reports "draining" once shutdown starts).
+// POST /v2/lookup (batch), GET /v2/databases, GET /v2/stats,
+// POST /v2/admin/reload (with -admin), and GET /healthz (which reports
+// "draining" once shutdown starts).
+//
+// With -snap-dir the serving set is a generation: the directory is
+// polled every -reload-interval, and when a publisher renames new
+// snapshots into place the whole new generation is loaded beside the
+// old, validated, and swapped in atomically — in-flight requests finish
+// on the generation they started with, and zero requests drop. A bad
+// publish (corrupt or truncated snapshot) is logged, counted in
+// reload.failures, and leaves the serving generation untouched. -admin
+// arms POST /v2/admin/reload to trigger a rescan on demand (?force=1
+// re-loads even when the directory looks unchanged; a rescan already in
+// flight answers 409).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to
 // draining, in-flight requests get -drain to finish, then the listener
@@ -37,7 +51,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -46,7 +59,7 @@ import (
 	"routergeo/internal/experiments"
 	"routergeo/internal/faults"
 	"routergeo/internal/geodb"
-	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/dbload"
 	"routergeo/internal/geodb/httpapi"
 	"routergeo/internal/obs"
 )
@@ -70,6 +83,9 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof and /debug/metrics")
 		par         = flag.Int("parallelism", 0, "worker count for measurement loops and the default batch pool width (0 = GOMAXPROCS)")
 		chaos       = flag.String("chaos", "", "fault-injection policy, e.g. mixed or errors:rate=0.5,seed=7 (see internal/faults)")
+		snapDir     = flag.String("snap-dir", "", "directory of .rgsnap snapshots to serve and hot-reload from")
+		reloadEvery = flag.Duration("reload-interval", httpapi.DefaultReloadInterval, "how often -snap-dir is polled for new snapshot generations")
+		admin       = flag.Bool("admin", false, "arm POST /v2/admin/reload (requires -snap-dir)")
 		dbPaths     dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
@@ -86,8 +102,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *admin && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "geoserve: -admin requires -snap-dir")
+		os.Exit(2)
+	}
+
 	var dbs []*geodb.DB
 	switch {
+	case *snapDir != "":
+		// The serving set comes from the reloader's first rescan below;
+		// the handler starts empty for a moment that nobody observes,
+		// since the listener is not up yet.
 	case *build:
 		cfg := experiments.DefaultConfig()
 		cfg.World.Seed = *seed
@@ -110,7 +135,7 @@ func main() {
 			dbs = append(dbs, loaded...)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: geoserve [-addr A] (-build | -db path...)")
+		fmt.Fprintln(os.Stderr, "usage: geoserve [-addr A] (-build | -db path... | -snap-dir dir)")
 		os.Exit(2)
 	}
 
@@ -135,8 +160,31 @@ func main() {
 		}
 		accessLogger = obs.NewLogger(os.Stderr, level, lf.Format)
 	}
+	// The admin hook closes over rel, which needs the handler to exist
+	// first; admin requests can only arrive after the listener is up,
+	// well past the assignment below.
+	var rel *httpapi.Reloader
+	if *admin {
+		opts = append(opts, httpapi.WithAdminReload(func(force bool) (bool, error) {
+			return rel.Rescan(force)
+		}))
+	}
 	opts = append(opts, httpapi.WithLogger(accessLogger))
 	handler := httpapi.NewHandler(dbs, opts...)
+
+	if *snapDir != "" {
+		rel = httpapi.NewReloader(handler, *snapDir, *reloadEvery, logger)
+		// The first generation must load, or there is nothing to serve.
+		if _, err := rel.Rescan(true); err != nil {
+			fmt.Fprintln(os.Stderr, "geoserve:", err)
+			os.Exit(1)
+		}
+		reloadCtx, stopReload := context.WithCancel(context.Background())
+		defer stopReload()
+		go rel.Run(reloadCtx)
+		fmt.Fprintf(os.Stderr, "hot reload armed: polling %s every %v (generation %s)\n",
+			*snapDir, *reloadEvery, handler.Generation())
+	}
 
 	// The chaos middleware sits outside the whole handler stack so its
 	// faults hit logging, metrics and recovery exactly as real transport
@@ -214,32 +262,29 @@ func main() {
 	}
 }
 
+// load opens a file (any supported format, sniffed by magic bytes) or a
+// directory of database artifacts.
 func load(p string) ([]*geodb.DB, error) {
 	info, err := os.Stat(p)
 	if err != nil {
 		return nil, err
 	}
 	if !info.IsDir() {
-		db, err := dbfile.ReadFile(p)
+		l, err := dbload.Open(p, dbload.Auto)
 		if err != nil {
 			return nil, err
 		}
-		return []*geodb.DB{db}, nil
+		return []*geodb.DB{l.DB}, nil
 	}
-	matches, err := filepath.Glob(filepath.Join(p, "*.rgdb"))
+	loaded, err := dbload.OpenDir(p)
 	if err != nil {
 		return nil, err
 	}
 	var out []*geodb.DB
-	for _, m := range matches {
-		db, err := dbfile.ReadFile(m)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m, err)
-		}
-		out = append(out, db)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no .rgdb files", p)
+	for _, l := range loaded {
+		// Mappings stay open for the process lifetime; this static mode
+		// has no reload, so nothing ever retires them.
+		out = append(out, l.DB)
 	}
 	return out, nil
 }

@@ -1,12 +1,18 @@
 // Command gtbuild builds and validates the ground-truth datasets the way
 // §2.3 and §3 of the paper do, printing Table 1, the per-domain DNS
 // breakdown, the RTT disqualification funnel, and the cross-dataset
-// agreement checks. Optionally it dumps the merged dataset as CSV, the
-// shape the paper released via IMPACT.
+// agreement checks. Optionally it dumps the merged dataset as CSV (the
+// shape the paper released via IMPACT), or exports it as a queryable
+// geolocation database in any of the repo's formats.
 //
 // Usage:
 //
-//	gtbuild [-seed N] [-ases N] [-csv out.csv]
+//	gtbuild [-seed N] [-ases N] [-csv out.csv] [-out db -format {csv,dbfile,snap}]
+//
+// -out writes the ground truth as a per-address (/32) database named
+// "GroundTruth", usable anywhere an exported vendor database is — with
+// geolookup, geoserve, or geosnap. -format picks the container (default:
+// by extension, else dbfile); "snap" writes an RGSP snapshot directly.
 package main
 
 import (
@@ -16,8 +22,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"routergeo/internal/experiments"
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/dbload"
+	"routergeo/internal/geodb/snapshot"
+	"routergeo/internal/ipx"
 	"routergeo/internal/obs"
 )
 
@@ -26,8 +37,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world seed")
 		ases    = flag.Int("ases", 0, "number of ASes (0 = default)")
 		csvPath = flag.String("csv", "", "write the merged ground truth as CSV to this path")
+		outPath = flag.String("out", "", "export the ground truth as a geolocation database to this path")
+		format  = dbload.Auto
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
+	flag.Var(&format, "format", "with -out: database format (csv, dbfile or snap; default: by extension)")
 	flag.Parse()
 
 	if _, err := lf.Setup(os.Stderr); err != nil {
@@ -54,6 +68,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gtbuild:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *outPath != "" {
+		db, err := groundTruthDB(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtbuild:", err)
+			os.Exit(1)
+		}
+		meta := snapshot.Meta{BuildEpoch: time.Now().Unix(), SourceFormat: "groundtruth"}
+		if err := dbload.WriteFile(*outPath, db, format, meta); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbuild:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s database (%d /32 records) to %s\n",
+			db.Name(), db.Len(), *outPath)
 	}
 
 	if *csvPath == "" {
@@ -94,4 +123,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d ground-truth rows to %s\n", env.GT.Len(), *csvPath)
+}
+
+// groundTruthDB turns the merged ground truth into a queryable database
+// of per-address records. GT entries carry coordinates and country but no
+// city name, so the city is looked up from the world through the entry's
+// interface — the same authoritative location the entry was derived from.
+func groundTruthDB(env *experiments.Env) (*geodb.DB, error) {
+	b := geodb.NewBuilder("GroundTruth")
+	for _, e := range env.GT.Entries {
+		city := env.W.CityOf(e.Iface)
+		b.Add(0, ipx.Range{Lo: e.Addr, Hi: e.Addr}, geodb.Record{
+			Country:    e.Country,
+			City:       city.Name,
+			Coord:      e.Coord,
+			Resolution: geodb.ResolutionCity,
+			BlockBits:  32,
+		})
+	}
+	return b.Build()
 }

@@ -228,6 +228,9 @@ func remoteAccuracy(ctx context.Context, rec *obs.Run, env *experiments.Env, bas
 		rec.SetTaint("remote."+name+".tainted", p.Tainted())
 		rec.SetTaint("remote."+name+".transport_errors", c.TransportErrors())
 		rec.SetTaint("remote."+name+".breaker_opens", c.BreakerStats().Opens)
+		// A mid-sweep server hot reload means the answers may span two
+		// database generations — taint the run rather than hide it.
+		rec.SetTaint("remote."+name+".generation_flips", p.GenerationFlips())
 	}
 	return w.Flush()
 }

@@ -35,7 +35,11 @@ import (
 )
 
 const (
-	magic   = "RGDB"
+	// Magic identifies a dbfile's first four bytes; the dbload sniffer
+	// dispatches on it.
+	Magic = "RGDB"
+
+	magic   = Magic
 	version = 1
 )
 

@@ -1,0 +1,198 @@
+// Package dbload is the one loader every binary shares: it opens a
+// geolocation database in any of the repo's on-disk formats — CSV dump,
+// RGDB binary, RGSP snapshot — dispatching on magic bytes rather than
+// file extension, so a renamed artifact still opens as what it is. It
+// also centralizes the matching write dispatch and the directory scan
+// the servers use, ending the per-binary extension-switch duplication.
+package dbload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/dbcsv"
+	"routergeo/internal/geodb/dbfile"
+	"routergeo/internal/geodb/snapshot"
+)
+
+// Format names an on-disk database format. The zero value is Auto:
+// sniff the file's magic bytes.
+type Format string
+
+const (
+	Auto   Format = "auto"
+	CSV    Format = "csv"
+	DBFile Format = "dbfile"
+	Snap   Format = "snap"
+)
+
+// String implements flag.Value.
+func (f *Format) String() string {
+	if *f == "" {
+		return string(Auto)
+	}
+	return string(*f)
+}
+
+// Set implements flag.Value, so binaries can share
+// `flag.Var(&format, "format", ...)`.
+func (f *Format) Set(s string) error {
+	switch Format(s) {
+	case Auto, CSV, DBFile, Snap:
+		*f = Format(s)
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want auto, csv, dbfile or snap)", s)
+}
+
+// Ext returns the conventional file extension for the format.
+func (f Format) Ext() string {
+	switch f {
+	case CSV:
+		return ".csv"
+	case DBFile:
+		return ".rgdb"
+	case Snap:
+		return snapshot.Ext
+	}
+	return ""
+}
+
+// Sniff classifies leading file bytes by magic. Anything that is not a
+// known binary magic is presumed CSV — the CSV reader then produces the
+// real parse error if it is not.
+func Sniff(head []byte) Format {
+	if len(head) >= 4 {
+		switch string(head[:4]) {
+		case snapshot.Magic:
+			return Snap
+		case dbfile.Magic:
+			return DBFile
+		}
+	}
+	return CSV
+}
+
+// SniffFile classifies a file on disk by its magic bytes.
+func SniffFile(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Auto, err
+	}
+	defer f.Close()
+	head := make([]byte, 4)
+	n, _ := f.Read(head)
+	return Sniff(head[:n]), nil
+}
+
+// Loaded is one opened database plus what backed it. Close is never nil;
+// for snapshots it releases the file mapping and must only run once no
+// lookups against DB remain possible.
+type Loaded struct {
+	DB     *geodb.DB
+	Path   string
+	Format Format
+	Close  func() error
+}
+
+// Open loads one database file. Format Auto (or "") sniffs the magic
+// bytes; naming a format insists on it, and a mismatched magic is an
+// error rather than a silent fallback.
+func Open(path string, format Format) (Loaded, error) {
+	sniffed, err := SniffFile(path)
+	if err != nil {
+		return Loaded{}, err
+	}
+	if format == Auto || format == "" {
+		format = sniffed
+	} else if format != sniffed {
+		return Loaded{}, fmt.Errorf("%s: file is %s, not the requested %s", path, sniffed, format)
+	}
+	noop := func() error { return nil }
+	switch format {
+	case Snap:
+		h, err := snapshot.Open(path)
+		if err != nil {
+			return Loaded{}, err
+		}
+		return Loaded{DB: h.DB(), Path: path, Format: Snap, Close: h.Close}, nil
+	case DBFile:
+		db, err := dbfile.ReadFile(path)
+		if err != nil {
+			return Loaded{}, err
+		}
+		meta := db.Meta()
+		meta.SourceFormat = "dbfile"
+		db.SetMeta(meta)
+		return Loaded{DB: db, Path: path, Format: DBFile, Close: noop}, nil
+	default:
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		db, err := dbcsv.ReadFile(path, name)
+		if err != nil {
+			return Loaded{}, err
+		}
+		meta := db.Meta()
+		meta.SourceFormat = "csv"
+		db.SetMeta(meta)
+		return Loaded{DB: db, Path: path, Format: CSV, Close: noop}, nil
+	}
+}
+
+// OpenDir loads every database artifact in dir (*.rgdb, *.csv, *.rgsnap),
+// sniffing each by magic, in sorted path order. Closing any returned
+// Loaded is the caller's job; on error the already-opened ones are
+// closed before returning.
+func OpenDir(dir string) ([]Loaded, error) {
+	var paths []string
+	for _, pattern := range []string{"*.rgdb", "*.csv", "*" + snapshot.Ext} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, matches...)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no .rgdb, .csv or %s files", dir, snapshot.Ext)
+	}
+	var out []Loaded
+	for _, p := range paths {
+		l, err := Open(p, Auto)
+		if err != nil {
+			for _, prev := range out {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// WriteFile writes db to path in the named format (Auto writes the
+// format matching the path's extension, defaulting to dbfile). The meta
+// is consulted only by the snapshot writer.
+func WriteFile(path string, db *geodb.DB, format Format, meta snapshot.Meta) error {
+	if format == Auto || format == "" {
+		switch filepath.Ext(path) {
+		case ".csv":
+			format = CSV
+		case snapshot.Ext:
+			format = Snap
+		default:
+			format = DBFile
+		}
+	}
+	switch format {
+	case Snap:
+		return snapshot.WriteFile(path, db, meta)
+	case CSV:
+		return dbcsv.WriteFile(path, db)
+	default:
+		return dbfile.WriteFile(path, db)
+	}
+}

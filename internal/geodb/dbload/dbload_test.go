@@ -1,0 +1,164 @@
+package dbload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/geodb/snapshot"
+	"routergeo/internal/ipx"
+)
+
+func sample(t *testing.T, name string) *geodb.DB {
+	t.Helper()
+	b := geodb.NewBuilder(name)
+	b.AddPrefix(0, ipx.MustParsePrefix("10.0.0.0/16"), geodb.Record{
+		Country: "US", City: "Dallas",
+		Coord: geo.Coordinate{Lat: 32.77, Lon: -96.8}, Resolution: geodb.ResolutionCity,
+	})
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSniffIgnoresExtension is the point of the package: files open as
+// what their bytes say, whatever they are called.
+func TestSniffIgnoresExtension(t *testing.T) {
+	dir := t.TempDir()
+	db := sample(t, "mislabeled")
+	// A snapshot wearing a .csv name and a dbfile wearing a snapshot name.
+	snapAsCSV := filepath.Join(dir, "x.csv")
+	if err := WriteFile(snapAsCSV, db, Snap, snapshot.Meta{BuildEpoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	dbfileAsSnap := filepath.Join(dir, "y"+snapshot.Ext)
+	if err := WriteFile(dbfileAsSnap, db, DBFile, snapshot.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]Format{snapAsCSV: Snap, dbfileAsSnap: DBFile} {
+		got, err := SniffFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("SniffFile(%s) = %s, want %s", filepath.Base(path), got, want)
+		}
+		l, err := Open(path, Auto)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", path, err)
+		}
+		if l.Format != want || l.DB.Name() != "mislabeled" {
+			t.Errorf("Open(%s) = format %s name %q", filepath.Base(path), l.Format, l.DB.Name())
+		}
+		l.Close()
+	}
+}
+
+func TestOpenFormatMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "db.rgdb")
+	if err := WriteFile(p, sample(t, "s"), DBFile, snapshot.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p, Snap); err == nil || !strings.Contains(err.Error(), "not the requested") {
+		t.Fatalf("requesting wrong format: err = %v", err)
+	}
+	if _, err := Open(p, DBFile); err != nil {
+		t.Fatalf("requesting right format: %v", err)
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	db := sample(t, "rt")
+	addr := ipx.MustParseAddr("10.0.1.2")
+	want, _ := db.Lookup(addr)
+	for _, f := range []Format{CSV, DBFile, Snap} {
+		p := filepath.Join(dir, "db"+f.Ext())
+		if err := WriteFile(p, db, Auto, snapshot.Meta{BuildEpoch: 9}); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		l, err := Open(p, Auto)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		got, ok := l.DB.Lookup(addr)
+		if !ok || got.Country != want.Country || got.City != want.City {
+			t.Errorf("%s: Lookup = %+v,%v", f, got, ok)
+		}
+		if src := l.DB.Meta().SourceFormat; src == "" {
+			t.Errorf("%s: SourceFormat not set", f)
+		}
+		l.Close()
+	}
+	// CSV keeps the file-derived name (it has no embedded one).
+	l, err := Open(filepath.Join(dir, "db.csv"), CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.DB.Name() != "db" {
+		t.Errorf("csv name = %q", l.DB.Name())
+	}
+}
+
+func TestOpenDirMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	for name, f := range map[string]Format{"alpha": CSV, "bravo": DBFile, "charlie": Snap} {
+		p := filepath.Join(dir, name+f.Ext())
+		if err := WriteFile(p, sample(t, name), f, snapshot.Meta{BuildEpoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded %d databases", len(loaded))
+	}
+	for _, l := range loaded {
+		l.Close()
+	}
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}
+
+func TestOpenDirClosesOnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "good"+snapshot.Ext), sample(t, "good"), Snap, snapshot.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zbad"+snapshot.Ext), []byte("RGSPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("corrupt member should fail the directory load")
+	}
+}
+
+func TestFormatFlagValue(t *testing.T) {
+	var f Format
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.Var(&f, "format", "")
+	if err := fs.Parse([]string{"-format", "snap"}); err != nil {
+		t.Fatal(err)
+	}
+	if f != Snap {
+		t.Fatalf("parsed %q", f)
+	}
+	if err := f.Set("parquet"); err == nil {
+		t.Error("bad format accepted")
+	}
+	var zero Format
+	if zero.String() != "auto" {
+		t.Errorf("zero value String = %q", zero.String())
+	}
+}

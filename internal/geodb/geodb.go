@@ -8,7 +8,10 @@
 package geodb
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"routergeo/internal/geo"
@@ -97,31 +100,136 @@ func LookupFunc(db Provider) func(a ipx.Addr) (Record, bool) {
 }
 
 // DB is an immutable sorted-range geolocation database. Queries are
-// served from a flat structure-of-arrays index with a /16 jump table;
-// the layered range map survives only as the build-time representation.
+// served from a flat structure-of-arrays index with a /16 jump table
+// whose values are indices into a deduplicated record table — the same
+// two-level layout vendor snapshot files (MaxMind's mmdb, IP2Location's
+// BIN) ship, and the exact layout the snapshot subpackage memory-maps,
+// so a loaded snapshot and a freshly built database serve through
+// identical code. The layered range map survives only inside Build.
 type DB struct {
 	name string
-	m    ipx.RangeMap[Record]
-	idx  *ipx.FlatIndex[Record]
+	idx  *ipx.FlatIndex[uint32]
+	recs []Record
+	meta Meta
+}
+
+// Meta is the provenance a database carries: where it came from and the
+// snapshot identity (generation, checksum, build epoch) when it was
+// loaded from one. The zero value means "built in memory, no identity
+// attached"; Fingerprint supplies a content-derived stand-in then.
+type Meta struct {
+	// Generation identifies the exact database bytes (for snapshots, the
+	// hex form of Checksum).
+	Generation string
+	// Checksum is the snapshot file checksum (0 when not snapshot-loaded).
+	Checksum uint64
+	// BuildEpoch is the unix-seconds build time recorded by the writer.
+	BuildEpoch int64
+	// SourceFormat names the artifact the database was loaded from:
+	// "snapshot", "dbfile", "csv", or "" for an in-memory build.
+	SourceFormat string
 }
 
 // Name implements Provider.
 func (d *DB) Name() string { return d.name }
 
+// Meta returns the database's provenance metadata.
+func (d *DB) Meta() Meta { return d.meta }
+
+// SetMeta attaches provenance metadata (loaders call this).
+func (d *DB) SetMeta(m Meta) { d.meta = m }
+
 // Lookup implements Provider.
-func (d *DB) Lookup(a ipx.Addr) (Record, bool) { return d.idx.Lookup(a) }
+func (d *DB) Lookup(a ipx.Addr) (Record, bool) {
+	i, ok := d.idx.Lookup(a)
+	if !ok {
+		return Record{}, false
+	}
+	return d.recs[i], true
+}
 
 // Finder implements Finderer: the returned function is a private
 // last-hit-caching view of the index for one goroutine.
 func (d *DB) Finder() func(a ipx.Addr) (Record, bool) {
-	return d.idx.NewFinder().Lookup
+	f := d.idx.NewFinder()
+	recs := d.recs
+	return func(a ipx.Addr) (Record, bool) {
+		i, ok := f.Lookup(a)
+		if !ok {
+			return Record{}, false
+		}
+		return recs[i], true
+	}
 }
 
 // Len returns the number of range entries.
-func (d *DB) Len() int { return d.m.Len() }
+func (d *DB) Len() int { return d.idx.Len() }
 
 // Walk visits every entry in address order.
-func (d *DB) Walk(fn func(ipx.Range, Record) bool) { d.m.Walk(fn) }
+func (d *DB) Walk(fn func(ipx.Range, Record) bool) {
+	los, his, vals, _ := d.idx.SoA()
+	for i := range los {
+		if !fn(ipx.Range{Lo: los[i], Hi: his[i]}, d.recs[vals[i]]) {
+			return
+		}
+	}
+}
+
+// Parts exposes the serving representation — the SoA interval arrays,
+// the per-range record indices, the /16 jump table and the deduplicated
+// record table — for serialization. All slices are live backing arrays
+// and must be treated as read-only.
+func (d *DB) Parts() (los, his []ipx.Addr, vals []uint32, jump []int32, recs []Record) {
+	los, his, vals, jump = d.idx.SoA()
+	return los, his, vals, jump, d.recs
+}
+
+// FromIndex wraps a pre-built flat index over a record table into a DB —
+// the snapshot loader's entry point. Every range value must reference a
+// record inside the table; the scan is O(ranges) integer compares, no
+// per-range decoding.
+func FromIndex(name string, idx *ipx.FlatIndex[uint32], recs []Record, meta Meta) (*DB, error) {
+	_, _, vals, _ := idx.SoA()
+	for i, v := range vals {
+		if int(v) >= len(recs) {
+			return nil, fmt.Errorf("geodb: %s: range %d references record %d of %d",
+				name, i, v, len(recs))
+		}
+	}
+	return &DB{name: name, idx: idx, recs: recs, meta: meta}, nil
+}
+
+// Fingerprint hashes the serving representation (FNV-1a over the name,
+// the SoA arrays and the record table). It gives in-memory databases a
+// stable, content-derived identity for generation/ETag purposes when no
+// snapshot metadata is attached; identical builds produce identical
+// fingerprints.
+func (d *DB) Fingerprint() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(d.name))
+	var b [8]byte
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		_, _ = h.Write(b[:4])
+	}
+	los, his, vals, _ := d.idx.SoA()
+	for i := range los {
+		w32(uint32(los[i]))
+		w32(uint32(his[i]))
+		w32(vals[i])
+	}
+	for _, r := range d.recs {
+		_, _ = h.Write([]byte(r.Country))
+		_, _ = h.Write([]byte{0, byte(r.Resolution), r.BlockBits})
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(r.Coord.Lat))
+		_, _ = h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(r.Coord.Lon))
+		_, _ = h.Write(b[:])
+		_, _ = h.Write([]byte(r.City))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
 
 // Builder assembles a DB from layered records: vendors lay down coarse
 // registration-derived records and override parts of them with finer
@@ -167,6 +275,20 @@ func (b *Builder) Build() (*DB, error) {
 	sort.Sort(sort.Reverse(sort.IntSlice(order)))
 
 	db := &DB{name: b.name}
+	// Records dedup into a table as they are laid down; the interning
+	// order is deterministic (layer order, sorted entries, fragment
+	// order), so identical builds yield identical tables.
+	recIdx := map[Record]uint32{}
+	intern := func(rec Record) uint32 {
+		if i, ok := recIdx[rec]; ok {
+			return i
+		}
+		i := uint32(len(db.recs))
+		recIdx[rec] = i
+		db.recs = append(db.recs, rec)
+		return i
+	}
+	var m ipx.RangeMap[uint32]
 	var covered coverage
 	for _, l := range order {
 		entries := b.layers[l]
@@ -178,16 +300,20 @@ func (b *Builder) Build() (*DB, error) {
 			}
 		}
 		for _, e := range entries {
-			for _, frag := range covered.subtract(e.r) {
-				db.m.Add(frag, e.rec)
+			frags := covered.subtract(e.r)
+			if len(frags) > 0 {
+				ri := intern(e.rec)
+				for _, frag := range frags {
+					m.Add(frag, ri)
+				}
 			}
 			covered.insert(e.r)
 		}
 	}
-	if err := db.m.Build(); err != nil {
+	if err := m.Build(); err != nil {
 		return nil, fmt.Errorf("geodb: %s: %w", b.name, err)
 	}
-	db.idx = ipx.NewFlatIndex(&db.m)
+	db.idx = ipx.NewFlatIndex(&m)
 	return db, nil
 }
 

@@ -135,6 +135,21 @@ func WithClientMetrics(reg *obs.Registry) ClientOption {
 	return func(c *Client) { c.reg = reg }
 }
 
+// ErrGenerationMismatch is returned (wrapped) when the server answers
+// from a generation other than the one pinned by WithRequiredGeneration.
+// It is terminal: retrying cannot help, since the server has moved on.
+var ErrGenerationMismatch = errors.New("httpapi: server generation changed")
+
+// WithRequiredGeneration pins the client to one server generation: any
+// response carrying a different X-Geodb-Generation fails immediately
+// with ErrGenerationMismatch instead of silently mixing answers from
+// two database generations. Use Generation() after a first request to
+// learn the value to pin. Empty (the default) disables the check;
+// responses without the header (older servers) always pass.
+func WithRequiredGeneration(gen string) ClientOption {
+	return func(c *Client) { c.requiredGen = gen }
+}
+
 // WithBaseContext sets the context Provider-shaped entry points
 // (Lookup, TryLookup via RemoteProvider, Databases, Stats) derive their
 // request contexts from, since the geodb.Provider interface cannot carry
@@ -179,6 +194,14 @@ type Client struct {
 	transportErrs atomic.Int64
 	mu            sync.Mutex
 	lastErr       error
+
+	// requiredGen pins responses to one server generation; gen tracks the
+	// last generation observed and genFlips counts changes, so a sweep
+	// can detect a server hot reload happening underneath it.
+	requiredGen string
+	genMu       sync.Mutex
+	gen         string
+	genFlips    atomic.Int64
 }
 
 // NewClient builds a resilient client with the Default* settings, then
@@ -284,6 +307,45 @@ func (c *Client) recordErr(err error) {
 	c.mu.Lock()
 	c.lastErr = err
 	c.mu.Unlock()
+}
+
+// Generation returns the last serving generation observed in a response
+// header ("" before the first generation-aware response).
+func (c *Client) Generation() string {
+	c.genMu.Lock()
+	defer c.genMu.Unlock()
+	return c.gen
+}
+
+// GenerationFlips counts how many times the observed server generation
+// changed across this client's responses. Non-zero after a sweep means
+// the server hot-reloaded mid-sweep and the answers may span database
+// generations — the run manifest should carry that taint.
+func (c *Client) GenerationFlips() int64 { return c.genFlips.Load() }
+
+// observeGeneration tracks the generation header of one response and
+// enforces the WithRequiredGeneration pin. Flips tally in the registry
+// as client.outage.generation_flips so they surface in /v2/stats and
+// run manifests alongside the other taint signals.
+func (c *Client) observeGeneration(g string) error {
+	if g == "" {
+		return nil
+	}
+	c.genMu.Lock()
+	prev := c.gen
+	c.gen = g
+	c.genMu.Unlock()
+	if prev != "" && prev != g {
+		c.genFlips.Add(1)
+		if c.reg != nil {
+			c.reg.Counter("client.outage.generation_flips").Inc()
+		}
+	}
+	if c.requiredGen != "" && g != c.requiredGen {
+		return fmt.Errorf("%w: pinned %s, server now serves %s",
+			ErrGenerationMismatch, c.requiredGen, g)
+	}
+	return nil
 }
 
 // retryable reports whether a response status warrants a retry: server
@@ -402,6 +464,18 @@ func (c *Client) do(ctx context.Context, path string, body []byte, out interface
 			}
 		}
 		status, ra, err := c.once(ctx, path, body, out)
+		if errors.Is(err, ErrGenerationMismatch) {
+			// Terminal, not a transport failure: the host answered fine,
+			// the data it serves moved past our pin. Retrying cannot help.
+			if c.br != nil {
+				c.br.success()
+			}
+			c.log().Error("server generation mismatch", "path", path, "error", err)
+			c.mu.Lock()
+			c.lastErr = err
+			c.mu.Unlock()
+			return err
+		}
 		if err == nil && !retryable(status) {
 			if c.br != nil {
 				c.br.success() // any well-formed answer means the host is up
@@ -454,6 +528,10 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out interfa
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	if genErr := c.observeGeneration(resp.Header.Get(GenerationHeader)); genErr != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, 0, genErr
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the connection can be reused, then report the status.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))

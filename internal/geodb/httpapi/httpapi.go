@@ -13,9 +13,25 @@
 //	GET  /v1/databases           list served database names (stable)
 //	GET  /v1/lookup?ip=A[&db=N]  look one address up (stable)
 //	POST /v2/lookup              batch lookup: {"ips":[...],"db":N}
-//	GET  /v2/databases           names plus range counts and resolution stats
+//	GET  /v2/databases           names, range counts, snapshot identity
 //	GET  /v2/stats               request counters, latency quantiles, hit/miss
+//	POST /v2/admin/reload        trigger a snapshot rescan (if armed)
 //	GET  /healthz                liveness ("ok", or "draining" during shutdown)
+//
+// The server is generation-aware: the set of databases can be hot-
+// swapped at runtime (Handler.Swap, driven by a Reloader watching a
+// snapshot directory) with zero dropped requests — in-flight requests
+// finish on the generation they started with, and a retired
+// generation's backing snapshot mappings are released only after its
+// last reader drains. Every response carries the serving generation in
+// the X-Geodb-Generation header; /v2/databases and /v2/stats answer
+// with an ETag derived from it and honor If-None-Match with 304, so a
+// poller detects a flip in one cheap conditional request.
+//
+// Stability: /v1 is frozen — its routes, parameters and payload shapes
+// are exactly the original one-address-per-request surface and carry no
+// generation fields. All generation-aware additions live on /v2
+// (additive, omitempty) and in response headers.
 //
 // The server side threads every request through a middleware stack
 // (panic recovery, request logging, metrics, timeouts, body-size caps);
@@ -109,12 +125,40 @@ type BatchResponse struct {
 }
 
 // DatabaseInfo is one /v2/databases element: the name plus the range
-// counts the paper's coverage analysis cares about.
+// counts the paper's coverage analysis cares about, and the snapshot
+// identity block the generation-aware /v2 surface added.
 type DatabaseInfo struct {
 	Name          string `json:"name"`
 	Ranges        int    `json:"ranges"`
 	CityRanges    int    `json:"city_ranges"`
 	CountryRanges int    `json:"country_ranges"`
+	// Snapshot identifies the exact database bytes being served. Always
+	// present on servers of this version; older clients ignore it.
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+}
+
+// SnapshotInfo is the per-database identity block on /v2/databases and
+// /v2/stats: which exact bytes answer lookups right now.
+type SnapshotInfo struct {
+	// Generation identifies the database bytes: the snapshot checksum in
+	// hex for snapshot-loaded databases, a content fingerprint otherwise.
+	Generation string `json:"generation"`
+	// Checksum is the snapshot file checksum in hex; absent for
+	// databases not loaded from a snapshot.
+	Checksum string `json:"checksum,omitempty"`
+	// BuildEpoch is the writer-recorded build time in unix seconds.
+	BuildEpoch int64 `json:"build_epoch,omitempty"`
+	// SourceFormat says where the database came from: "snapshot",
+	// "dbfile", "csv" or "memory".
+	SourceFormat string `json:"source_format,omitempty"`
+}
+
+// ReloadResponse is the POST /v2/admin/reload payload: whether a new
+// generation was swapped in ("reloaded" / "unchanged") and the set-level
+// generation id now serving.
+type ReloadResponse struct {
+	Status     string `json:"status"`
+	Generation string `json:"generation"`
 }
 
 // ErrorResponse is the body of every non-200 JSON answer.

@@ -34,6 +34,15 @@ type StatsResponse struct {
 	// Draining mirrors /healthz's shutdown state.
 	Draining bool `json:"draining"`
 
+	// Generation is the set-level generation id currently serving (also
+	// the X-Geodb-Generation header and the basis of the /v2 ETags).
+	Generation string `json:"generation,omitempty"`
+	// Reloads counts generation swaps since the server started.
+	Reloads int64 `json:"reloads,omitempty"`
+	// Snapshots is the per-database identity block of the serving
+	// generation.
+	Snapshots map[string]SnapshotInfo `json:"snapshots,omitempty"`
+
 	// The resilience sections below are omitted when empty, keeping the
 	// frozen pre-chaos shape for deployments that use none of it.
 
@@ -65,15 +74,16 @@ type metrics struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	latency  *obs.Histogram
+	// swaps counts generation swaps (registry name generation.swaps);
+	// /v2/stats surfaces it as Reloads.
+	swaps *obs.Counter
 
-	// byEndpoint counters are created on demand; the map caches them so
-	// the common case is one RLock-free map read under mu.
+	// byEndpoint and byDB counters are created on demand — a hot reload
+	// can introduce database names that did not exist at construction —
+	// and cached so the common case is one map read under an RLock.
 	mu         sync.RWMutex
 	byEndpoint map[string]*obs.Counter
-
-	// byDB's key set is fixed at construction, so concurrent reads of the
-	// map itself are safe; the tallies are atomic.
-	byDB map[string]*dbTally
+	byDB       map[string]*dbTally
 }
 
 func newMetrics(dbNames []string) *metrics {
@@ -83,9 +93,12 @@ func newMetrics(dbNames []string) *metrics {
 		requests:   reg.Counter("http.requests"),
 		errors:     reg.Counter("http.errors"),
 		latency:    reg.Histogram("http.latency_ms", obs.LatencyBucketsMs),
+		swaps:      reg.Counter("generation.swaps"),
 		byEndpoint: make(map[string]*obs.Counter),
 		byDB:       make(map[string]*dbTally, len(dbNames)),
 	}
+	// Pre-seed the initial serving set so its tallies exist (at zero) on
+	// the first /v2/stats; later names join on first lookup.
 	for _, name := range dbNames {
 		m.byDB[name] = &dbTally{
 			hits:   reg.Counter("db." + name + ".hits"),
@@ -130,13 +143,23 @@ func (m *metrics) middleware(next http.Handler) http.Handler {
 	})
 }
 
-// recordLookup tallies one database answer. Unknown names (impossible
-// from the handler, possible from future callers) are dropped rather
-// than grown, keeping the map read-only.
+// recordLookup tallies one database answer, creating the tally on first
+// sight — databases can appear at runtime through a hot reload.
 func (m *metrics) recordLookup(db string, found bool) {
+	m.mu.RLock()
 	t, ok := m.byDB[db]
+	m.mu.RUnlock()
 	if !ok {
-		return
+		m.mu.Lock()
+		t, ok = m.byDB[db]
+		if !ok {
+			t = &dbTally{
+				hits:   m.reg.Counter("db." + db + ".hits"),
+				misses: m.reg.Counter("db." + db + ".misses"),
+			}
+			m.byDB[db] = t
+		}
+		m.mu.Unlock()
 	}
 	if found {
 		t.hits.Inc()
@@ -152,20 +175,20 @@ func (m *metrics) snapshot() StatsResponse {
 		Errors:     m.errors.Value(),
 		ByEndpoint: make(map[string]int64),
 		LatencyMs:  make(map[string]float64),
-		DBs:        make(map[string]DBStats, len(m.byDB)),
+		DBs:        make(map[string]DBStats),
 	}
 	m.mu.RLock()
 	for route, c := range m.byEndpoint {
 		out.ByEndpoint[route] = c.Value()
+	}
+	for name, t := range m.byDB {
+		out.DBs[name] = DBStats{Hits: t.hits.Value(), Misses: t.misses.Value()}
 	}
 	m.mu.RUnlock()
 	if m.latency.Count() > 0 {
 		out.LatencyMs["p50"] = m.latency.Quantile(0.50)
 		out.LatencyMs["p90"] = m.latency.Quantile(0.90)
 		out.LatencyMs["p99"] = m.latency.Quantile(0.99)
-	}
-	for name, t := range m.byDB {
-		out.DBs[name] = DBStats{Hits: t.hits.Value(), Misses: t.misses.Value()}
 	}
 	fillResilience(&out, m.reg.Snapshot())
 	return out

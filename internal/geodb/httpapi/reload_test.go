@@ -1,0 +1,202 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"routergeo/internal/geodb/snapshot"
+	"routergeo/internal/ipx"
+)
+
+// publishSnapshots writes the test databases into dir as one snapshot
+// generation, the way a publisher (cmd/geosnap) deploys: complete files
+// renamed into place. epoch distinguishes generations of identical data.
+func publishSnapshots(t *testing.T, dir string, epoch int64) {
+	t.Helper()
+	for _, db := range testDBs(t) {
+		path := filepath.Join(dir, db.Name()+snapshot.Ext)
+		meta := snapshot.Meta{BuildEpoch: epoch, SourceFormat: "test"}
+		if err := snapshot.WriteFile(path, db, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReloaderServesAndHotSwaps(t *testing.T) {
+	dir := t.TempDir()
+	publishSnapshots(t, dir, 1)
+
+	h := NewHandler(nil)
+	r := NewReloader(h, dir, time.Hour, nil)
+	swapped, err := r.Rescan(true)
+	if err != nil || !swapped {
+		t.Fatalf("initial rescan: swapped=%v err=%v", swapped, err)
+	}
+	gen1 := h.Generation()
+	if gen1 == "" {
+		t.Fatal("no generation after initial rescan")
+	}
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	var body LookupResponse
+	if err := getJSON(srv.URL+"/v1/lookup?ip=10.0.0.1", &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Results["alpha"].Country != "US" || !body.Results["alpha"].Found {
+		t.Fatalf("snapshot-served lookup = %+v", body)
+	}
+
+	// An unchanged directory is a no-op without force...
+	if swapped, err := r.Rescan(false); err != nil || swapped {
+		t.Fatalf("unchanged rescan: swapped=%v err=%v", swapped, err)
+	}
+	if h.Generation() != gen1 {
+		t.Fatal("no-op rescan moved the generation")
+	}
+	// ...but force re-loads it (same bytes, same generation id).
+	if swapped, err := r.Rescan(true); err != nil || !swapped {
+		t.Fatalf("forced rescan: swapped=%v err=%v", swapped, err)
+	}
+	if h.Generation() != gen1 {
+		t.Fatal("re-loading identical snapshots changed the generation id")
+	}
+
+	// A re-publish under a new epoch is a new generation.
+	publishSnapshots(t, dir, 2)
+	if swapped, err := r.Rescan(false); err != nil || !swapped {
+		t.Fatalf("post-publish rescan: swapped=%v err=%v", swapped, err)
+	}
+	if h.Generation() == gen1 {
+		t.Fatal("new epoch did not change the generation")
+	}
+	if err := getJSON(srv.URL+"/v1/lookup?ip=10.0.0.1", &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Results["alpha"].Country != "US" {
+		t.Fatalf("post-swap lookup = %+v", body)
+	}
+}
+
+func TestReloaderCorruptPublishKeepsServingGeneration(t *testing.T) {
+	dir := t.TempDir()
+	publishSnapshots(t, dir, 1)
+
+	h := NewHandler(nil)
+	r := NewReloader(h, dir, time.Hour, nil)
+	if _, err := r.Rescan(true); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := h.Generation()
+
+	// A corrupt publish: flip one payload byte so the checksum fails.
+	victim := filepath.Join(dir, "alpha"+snapshot.Ext)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if swapped, err := r.Rescan(false); err == nil || swapped {
+		t.Fatalf("corrupt publish must fail loudly: swapped=%v err=%v", swapped, err)
+	}
+	if h.Generation() != gen1 {
+		t.Fatal("corrupt publish disturbed the serving generation")
+	}
+	if got := h.Registry().Counter("reload.failures").Value(); got == 0 {
+		t.Error("reload.failures not counted")
+	}
+	// The old generation still answers.
+	g := h.acquireGen()
+	defer g.release()
+	if _, ok := g.byName["alpha"].Lookup(ipx.MustParseAddr("10.0.0.1")); !ok {
+		t.Fatal("serving generation broken after failed reload")
+	}
+}
+
+func TestReloaderEmptyDirIsAnError(t *testing.T) {
+	h := NewHandler(testDBs(t))
+	r := NewReloader(h, t.TempDir(), time.Hour, nil)
+	if _, err := r.Rescan(true); err == nil {
+		t.Fatal("rescan of an empty directory must fail")
+	}
+	if h.Generation() == "" {
+		t.Fatal("failed rescan cleared the generation")
+	}
+}
+
+func TestReloaderInFlightRejectsConcurrentRescan(t *testing.T) {
+	dir := t.TempDir()
+	publishSnapshots(t, dir, 1)
+	r := NewReloader(NewHandler(nil), dir, time.Hour, nil)
+
+	// Occupy the in-flight slot the way a slow concurrent rescan would.
+	r.inFlight <- struct{}{}
+	if _, err := r.Rescan(true); !errors.Is(err, ErrReloadInFlight) {
+		t.Fatalf("err = %v, want ErrReloadInFlight", err)
+	}
+	<-r.inFlight
+	if _, err := r.Rescan(true); err != nil {
+		t.Fatalf("rescan after the slot freed: %v", err)
+	}
+}
+
+// TestAdminReloadEndToEnd wires handler, reloader and admin route the
+// way cmd/geoserve does and drives a publish → POST /v2/admin/reload →
+// new generation cycle over HTTP.
+func TestAdminReloadEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	publishSnapshots(t, dir, 1)
+
+	var r *Reloader
+	h := NewHandler(nil, WithAdminReload(func(force bool) (bool, error) {
+		return r.Rescan(force)
+	}))
+	r = NewReloader(h, dir, time.Hour, nil)
+	if _, err := r.Rescan(true); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := h.Generation()
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func() (int, ReloadResponse) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v2/admin/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr ReloadResponse
+		_ = json.NewDecoder(resp.Body).Decode(&rr)
+		return resp.StatusCode, rr
+	}
+
+	// Nothing new published: the admin rescan reports unchanged.
+	status, rr := post()
+	if status != http.StatusOK || rr.Status != "unchanged" {
+		t.Fatalf("pre-publish reload: status=%d body=%+v", status, rr)
+	}
+
+	publishSnapshots(t, dir, 2)
+	status, rr = post()
+	if status != http.StatusOK || rr.Status != "reloaded" {
+		t.Fatalf("post-publish reload: status=%d body=%+v", status, rr)
+	}
+	if rr.Generation == gen1 || rr.Generation != h.Generation() {
+		t.Fatalf("reload generation = %q (was %q, serving %q)", rr.Generation, gen1, h.Generation())
+	}
+	if got := h.Registry().Counter("reload.count").Value(); got != 2 {
+		t.Errorf("reload.count = %d, want 2 (initial + admin)", got)
+	}
+}

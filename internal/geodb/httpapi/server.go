@@ -6,7 +6,6 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,19 +77,28 @@ func WithLogger(l *slog.Logger) ServerOption {
 	return func(h *Handler) { h.logger = l }
 }
 
-// Handler serves the /v1 and /v2 API over a fixed set of databases. It
-// is immutable after NewHandler except for the draining flag and its
-// metrics, both safe for concurrent use.
+// WithAdminReload arms the POST /v2/admin/reload endpoint with hook,
+// typically a Reloader's AdminHook. The hook triggers a snapshot rescan
+// (force re-loads even when the directory looks unchanged) and reports
+// whether a new generation was swapped in; ErrReloadInFlight from the
+// hook answers 409. Without this option the admin route does not exist.
+func WithAdminReload(hook func(force bool) (bool, error)) ServerOption {
+	return func(h *Handler) { h.reloadHook = hook }
+}
+
+// Handler serves the /v1 and /v2 API over a generation of databases.
+// The serving set is swappable at runtime (Swap, the hot-reload path);
+// everything else is immutable after NewHandler except the draining
+// flag and the metrics, all safe for concurrent use.
 type Handler struct {
-	byName map[string]*geodb.DB
-	names  []string
-	infos  []DatabaseInfo
+	gen atomic.Pointer[generation]
 
 	maxBatch    int
 	maxBody     int64
 	timeout     time.Duration
 	concurrency int
 	logger      *slog.Logger
+	reloadHook  func(force bool) (bool, error)
 
 	draining atomic.Bool
 	metrics  *metrics
@@ -103,24 +111,17 @@ type Handler struct {
 // timeout).
 func NewHandler(dbs []*geodb.DB, opts ...ServerOption) *Handler {
 	h := &Handler{
-		byName:      make(map[string]*geodb.DB, len(dbs)),
 		maxBatch:    DefaultMaxBatch,
 		maxBody:     DefaultMaxBodyBytes,
 		timeout:     DefaultRequestTimeout,
 		concurrency: runtime.GOMAXPROCS(0),
 	}
-	for _, db := range dbs {
-		h.byName[db.Name()] = db
-		h.names = append(h.names, db.Name())
-	}
-	sort.Strings(h.names)
-	for _, name := range h.names {
-		h.infos = append(h.infos, databaseInfo(h.byName[name]))
-	}
+	gen := newGeneration(dbs, nil)
+	h.gen.Store(gen)
 	for _, o := range opts {
 		o(h)
 	}
-	h.metrics = newMetrics(h.names)
+	h.metrics = newMetrics(gen.names)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.handleHealthz)
@@ -129,11 +130,17 @@ func NewHandler(dbs []*geodb.DB, opts ...ServerOption) *Handler {
 	mux.HandleFunc("POST /v2/lookup", h.handleV2Lookup)
 	mux.HandleFunc("GET /v2/databases", h.handleV2Databases)
 	mux.HandleFunc("GET /v2/stats", h.handleV2Stats)
+	if h.reloadHook != nil {
+		// The route exists only when a reload hook is armed, so an unarmed
+		// server answers the admin path with a plain 404.
+		mux.HandleFunc("POST /v2/admin/reload", h.handleAdminReload)
+	}
 
 	var stack http.Handler = mux
 	if h.timeout > 0 {
 		stack = http.TimeoutHandler(stack, h.timeout, `{"error":"request timed out"}`)
 	}
+	stack = h.generationMiddleware(stack)
 	stack = h.metrics.middleware(stack)
 	if h.logger != nil {
 		stack = loggingMiddleware(h.logger, stack)
@@ -171,10 +178,14 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleV1Databases(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.names)
+	g := h.acquireGen()
+	defer g.release()
+	writeJSON(w, http.StatusOK, g.names)
 }
 
 func (h *Handler) handleV1Lookup(w http.ResponseWriter, r *http.Request) {
+	g := h.acquireGen()
+	defer g.release()
 	ipStr := r.URL.Query().Get("ip")
 	addr, err := ipx.ParseAddr(ipStr)
 	if err != nil {
@@ -183,19 +194,20 @@ func (h *Handler) handleV1Lookup(w http.ResponseWriter, r *http.Request) {
 	}
 	dbName := r.URL.Query().Get("db")
 	if dbName != "" {
-		if _, ok := h.byName[dbName]; !ok {
+		if _, ok := g.byName[dbName]; !ok {
 			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown database " + dbName})
 			return
 		}
 	}
-	resp := LookupResponse{IP: addr.String(), Results: h.resolve(addr, dbName)}
+	resp := LookupResponse{IP: addr.String(), Results: h.resolve(g, addr, dbName)}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// resolve answers one address from one database (dbName != "") or all.
-func (h *Handler) resolve(addr ipx.Addr, dbName string) map[string]RecordJSON {
-	out := make(map[string]RecordJSON, len(h.byName))
-	for name, db := range h.byName {
+// resolve answers one address from one database (dbName != "") or all,
+// within the pinned generation g.
+func (h *Handler) resolve(g *generation, addr ipx.Addr, dbName string) map[string]RecordJSON {
+	out := make(map[string]RecordJSON, len(g.byName))
+	for name, db := range g.byName {
 		if dbName != "" && name != dbName {
 			continue
 		}
@@ -207,6 +219,8 @@ func (h *Handler) resolve(addr ipx.Addr, dbName string) map[string]RecordJSON {
 }
 
 func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
+	g := h.acquireGen()
+	defer g.release()
 	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -229,7 +243,7 @@ func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.DB != "" {
-		if _, ok := h.byName[req.DB]; !ok {
+		if _, ok := g.byName[req.DB]; !ok {
 			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown database " + req.DB})
 			return
 		}
@@ -244,7 +258,7 @@ func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
 			entries[i] = BatchEntry{IP: ip, Error: err.Error()}
 			return
 		}
-		entries[i] = BatchEntry{IP: addr.String(), Results: h.resolve(addr, req.DB)}
+		entries[i] = BatchEntry{IP: addr.String(), Results: h.resolve(g, addr, req.DB)}
 	}
 	if len(entries) <= parallelBatchThreshold || h.concurrency <= 1 {
 		for i := range entries {
@@ -272,13 +286,46 @@ func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleV2Databases(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.infos)
+	g := h.acquireGen()
+	defer g.release()
+	if notModified(w, r, g) {
+		return
+	}
+	writeJSON(w, http.StatusOK, g.infos)
 }
 
 func (h *Handler) handleV2Stats(w http.ResponseWriter, r *http.Request) {
+	g := h.acquireGen()
+	defer g.release()
+	if notModified(w, r, g) {
+		return
+	}
 	s := h.metrics.snapshot()
 	s.Draining = h.draining.Load()
+	s.Generation = g.id
+	s.Reloads = h.metrics.swaps.Value()
+	s.Snapshots = g.snaps
 	writeJSON(w, http.StatusOK, s)
+}
+
+func (h *Handler) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	force := r.URL.Query().Get("force") == "1" || r.URL.Query().Get("force") == "true"
+	swapped, err := h.reloadHook(force)
+	switch {
+	case errors.Is(err, ErrReloadInFlight):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// The failed rescan left the old generation serving; report that
+		// identity so the caller can see nothing moved.
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	status := "unchanged"
+	if swapped {
+		status = "reloaded"
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Status: status, Generation: h.Generation()})
 }
 
 func databaseInfo(db *geodb.DB) DatabaseInfo {

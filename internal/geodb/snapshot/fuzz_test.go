@@ -1,0 +1,36 @@
+package snapshot
+
+import (
+	"testing"
+
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// FuzzDecode hardens the loader: arbitrary bytes must produce an error
+// or a valid, queryable database — never a panic, index fault or runaway
+// allocation. The corpus seeds a valid snapshot so mutations explore the
+// deep paths (section slicing, record decoding, index validation).
+func FuzzDecode(f *testing.F) {
+	db := buildSample(f)
+	f.Add(snap(f, db, Meta{BuildEpoch: 1, SourceFormat: "study"}))
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, info, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got.Len() != info.Ranges {
+			t.Fatalf("decoded %d ranges, info says %d", got.Len(), info.Ranges)
+		}
+		got.Lookup(ipx.MustParseAddr("10.0.0.1"))
+		got.Walk(func(r ipx.Range, rec geodb.Record) bool {
+			if r.Lo > r.Hi {
+				t.Fatalf("decoded inverted range %v", r)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,296 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// Sentinel errors a loader failure wraps, so callers (and the corruption
+// tests) can classify what went wrong without string matching.
+var (
+	ErrTruncated   = errors.New("snapshot: file truncated")
+	ErrBadMagic    = errors.New("snapshot: bad magic")
+	ErrBadVersion  = errors.New("snapshot: unsupported version")
+	ErrBadChecksum = errors.New("snapshot: checksum mismatch")
+	ErrMisaligned  = errors.New("snapshot: misaligned section")
+	ErrCorrupt     = errors.New("snapshot: corrupt contents")
+)
+
+// hostLittle reports whether this machine stores integers little-endian
+// — the precondition for pointing slices directly into the file image.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+type header struct {
+	checksum             uint64
+	buildEpoch           int64
+	rangeCount, recCount uint64
+	nameOff, nameLen     uint64
+	srcOff, srcLen       uint64
+	losOff, hisOff       uint64
+	valsOff, jumpOff     uint64
+	recsOff, recsLen     uint64
+}
+
+// Decode validates a snapshot image and turns it into a servable DB.
+// Every integrity property is checked up front — magic, version, flags,
+// whole-file checksum, section bounds and alignment, index invariants,
+// record references — so a corrupted file fails loudly here rather than
+// serving wrong answers later. On a little-endian host the returned DB's
+// index slices alias data directly (zero copy, zero per-range work);
+// only the variable-length record table is decoded, O(records).
+//
+// Because the index may alias data, the caller must keep data valid (and,
+// for mmap, mapped) for the lifetime of the returned DB.
+func Decode(data []byte) (*geodb.DB, Info, error) {
+	var info Info
+	if len(data) < headerSize {
+		return nil, info, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:4]) != Magic {
+		return nil, info, fmt.Errorf("%w: got %q", ErrBadMagic, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != Version {
+		return nil, info, fmt.Errorf("%w: file version %d, this build reads %d", ErrBadVersion, v, Version)
+	}
+	if fl := binary.LittleEndian.Uint16(data[6:]); fl != 0 {
+		return nil, info, fmt.Errorf("%w: reserved flags 0x%04x set", ErrBadVersion, fl)
+	}
+
+	var h header
+	h.checksum = binary.LittleEndian.Uint64(data[8:])
+	h.buildEpoch = int64(binary.LittleEndian.Uint64(data[16:]))
+	h.rangeCount = binary.LittleEndian.Uint64(data[24:])
+	h.recCount = binary.LittleEndian.Uint64(data[32:])
+	h.nameOff = binary.LittleEndian.Uint64(data[40:])
+	h.nameLen = binary.LittleEndian.Uint64(data[48:])
+	h.srcOff = binary.LittleEndian.Uint64(data[56:])
+	h.srcLen = binary.LittleEndian.Uint64(data[64:])
+	h.losOff = binary.LittleEndian.Uint64(data[72:])
+	h.hisOff = binary.LittleEndian.Uint64(data[80:])
+	h.valsOff = binary.LittleEndian.Uint64(data[88:])
+	h.jumpOff = binary.LittleEndian.Uint64(data[96:])
+	h.recsOff = binary.LittleEndian.Uint64(data[104:])
+	h.recsLen = binary.LittleEndian.Uint64(data[112:])
+
+	if got := checksum(data[:headerSize], data[headerSize:]); got != h.checksum {
+		return nil, info, fmt.Errorf("%w: header says %016x, file hashes to %016x", ErrBadChecksum, h.checksum, got)
+	}
+	if h.rangeCount > maxRanges {
+		return nil, info, fmt.Errorf("%w: %d ranges exceed the format bound", ErrCorrupt, h.rangeCount)
+	}
+	if h.recCount > maxRecords {
+		return nil, info, fmt.Errorf("%w: %d records exceed the format bound", ErrCorrupt, h.recCount)
+	}
+
+	sect := func(name string, off, length uint64) ([]byte, error) {
+		if off%align != 0 {
+			return nil, fmt.Errorf("%w: %s section at offset %d (alignment %d)", ErrMisaligned, name, off, align)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: %s section [%d,+%d) outside %d-byte file", ErrTruncated, name, off, length, len(data))
+		}
+		return data[off : off+length], nil
+	}
+	nameB, err := sect("name", h.nameOff, h.nameLen)
+	if err != nil {
+		return nil, info, err
+	}
+	srcB, err := sect("source", h.srcOff, h.srcLen)
+	if err != nil {
+		return nil, info, err
+	}
+	losB, err := sect("los", h.losOff, 4*h.rangeCount)
+	if err != nil {
+		return nil, info, err
+	}
+	hisB, err := sect("his", h.hisOff, 4*h.rangeCount)
+	if err != nil {
+		return nil, info, err
+	}
+	valsB, err := sect("vals", h.valsOff, 4*h.rangeCount)
+	if err != nil {
+		return nil, info, err
+	}
+	jumpB, err := sect("jump", h.jumpOff, 4*jumpLen)
+	if err != nil {
+		return nil, info, err
+	}
+	recsB, err := sect("records", h.recsOff, h.recsLen)
+	if err != nil {
+		return nil, info, err
+	}
+
+	recs, err := decodeRecords(recsB, int(h.recCount))
+	if err != nil {
+		return nil, info, err
+	}
+
+	los := viewOrCopy[ipx.Addr](losB)
+	his := viewOrCopy[ipx.Addr](hisB)
+	vals := viewOrCopy[uint32](valsB)
+	jump := viewOrCopy[int32](jumpB)
+	idx, err := ipx.FlatIndexFromSoA(los, his, vals, jump)
+	if err != nil {
+		return nil, info, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	info = Info{
+		Name:         string(nameB),
+		Generation:   GenerationID(h.checksum),
+		Checksum:     h.checksum,
+		BuildEpoch:   h.buildEpoch,
+		SourceFormat: string(srcB),
+		Ranges:       int(h.rangeCount),
+		Records:      int(h.recCount),
+		Size:         int64(len(data)),
+	}
+	db, err := geodb.FromIndex(info.Name, idx, recs, geodb.Meta{
+		Generation:   info.Generation,
+		Checksum:     h.checksum,
+		BuildEpoch:   h.buildEpoch,
+		SourceFormat: "snapshot",
+	})
+	if err != nil {
+		return nil, Info{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return db, info, nil
+}
+
+// viewOrCopy reinterprets a section as a []T of 4-byte little-endian
+// integers. On a little-endian host with a 4-byte-aligned section start
+// (guaranteed by the 64-byte section alignment, but re-checked because
+// the heap fallback path may hand us any buffer) the file bytes back the
+// slice directly; otherwise the values are decoded into a fresh slice.
+func viewOrCopy[T ~uint32 | ~int32](b []byte) []T {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// decodeRecords parses the variable-length record table. This is the
+// only per-entry decoding a snapshot load performs, and it is bounded by
+// the number of distinct records, not the number of ranges.
+func decodeRecords(b []byte, n int) ([]geodb.Record, error) {
+	const fixed = 22 // country 2 + res 1 + blockBits 1 + lat 8 + lon 8 + cityLen 2
+	recs := make([]geodb.Record, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < fixed {
+			return nil, fmt.Errorf("%w: record %d truncated (%d bytes left)", ErrTruncated, i, len(b))
+		}
+		var r geodb.Record
+		cc := b[:2]
+		for len(cc) > 0 && cc[len(cc)-1] == 0 {
+			cc = cc[:len(cc)-1]
+		}
+		r.Country = string(cc)
+		r.Resolution = geodb.Resolution(b[2])
+		if r.Resolution > geodb.ResolutionCity {
+			return nil, fmt.Errorf("%w: record %d has resolution byte %d", ErrCorrupt, i, b[2])
+		}
+		r.BlockBits = b[3]
+		lat := math.Float64frombits(binary.LittleEndian.Uint64(b[4:]))
+		lon := math.Float64frombits(binary.LittleEndian.Uint64(b[12:]))
+		if math.IsNaN(lat) || math.IsNaN(lon) || math.Abs(lat) > 90 || math.Abs(lon) > 180 {
+			return nil, fmt.Errorf("%w: record %d has coordinate (%v, %v)", ErrCorrupt, i, lat, lon)
+		}
+		r.Coord = geo.Coordinate{Lat: lat, Lon: lon}
+		cityLen := int(binary.LittleEndian.Uint16(b[20:]))
+		if len(b) < fixed+cityLen {
+			return nil, fmt.Errorf("%w: record %d city truncated", ErrTruncated, i)
+		}
+		r.City = string(b[fixed : fixed+cityLen])
+		b = b[fixed+cityLen:]
+		recs = append(recs, r)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d stray bytes after record table", ErrCorrupt, len(b))
+	}
+	return recs, nil
+}
+
+// Handle is an open snapshot: the decoded DB plus whatever backs it (an
+// mmap on linux, a heap buffer elsewhere).
+type Handle struct {
+	db    *geodb.DB
+	info  Info
+	unmap func() error
+}
+
+// DB returns the servable database. Its index may alias the mapping;
+// do not use it after Close.
+func (h *Handle) DB() *geodb.DB { return h.db }
+
+// Info describes the snapshot the handle was opened from.
+func (h *Handle) Info() Info { return h.info }
+
+// Close releases the backing mapping. The caller must guarantee no
+// lookups are in flight or possible afterwards — in the server this is
+// exactly what the generation refcount drain establishes.
+func (h *Handle) Close() error {
+	if h.unmap == nil {
+		return nil
+	}
+	u := h.unmap
+	h.unmap = nil
+	return u()
+}
+
+// Open maps (linux) or reads (elsewhere) a snapshot file and decodes it.
+func Open(path string) (*Handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrTruncated, path, st.Size())
+	}
+	data, unmap, mapped, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: open %s: %w", path, err)
+	}
+	db, info, err := Decode(data)
+	if err != nil {
+		_ = unmap()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	info.Size = st.Size()
+	info.Mapped = mapped
+	return &Handle{db: db, info: info, unmap: unmap}, nil
+}
+
+// Inspect reads just enough of a snapshot to describe it, without
+// keeping a mapping open.
+func Inspect(path string) (Info, error) {
+	h, err := Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	info := h.Info()
+	_ = h.Close()
+	return info, nil
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the whole file read-only. The mapping outlives the
+// file descriptor, so Open can close f immediately; Handle.Close
+// munmaps. Loading is O(1) in the data — pages fault in on first probe.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, mapped bool, err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, true, nil
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file into the heap — the portable fallback
+// when mmap is unavailable. Still a single sequential read; the decoded
+// index then aliases the heap buffer exactly as it would the mapping.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, mapped bool, err error) {
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return nil }, false, nil
+}

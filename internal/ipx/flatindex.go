@@ -1,5 +1,7 @@
 package ipx
 
+import "fmt"
+
 // FlatIndex is an immutable, cache-friendly view of a built RangeMap:
 // the interval bounds live in two parallel slices (structure-of-arrays,
 // so a binary search touches only the 4-byte lower bounds, not whole
@@ -52,6 +54,53 @@ func NewFlatIndex[V any](m *RangeMap[V]) *FlatIndex[V] {
 
 // Len returns the number of intervals.
 func (x *FlatIndex[V]) Len() int { return len(x.los) }
+
+// SoA exposes the index's backing arrays — interval lower bounds, upper
+// bounds, values and the /16 jump table — so they can be serialized (or
+// walked) without copying. The returned slices are the live arrays, not
+// copies: callers must treat them as read-only.
+func (x *FlatIndex[V]) SoA() (los, his []Addr, vals []V, jump []int32) {
+	return x.los, x.his, x.vals, x.jump
+}
+
+// FlatIndexFromSoA adopts pre-built SoA arrays — typically sections of a
+// memory-mapped snapshot — without copying them, after validating every
+// invariant find relies on: matching lengths, sorted non-overlapping
+// intervals, and a jump table consistent with the bounds. The error
+// names the first violation, so a corrupted snapshot fails loudly
+// instead of serving wrong answers.
+func FlatIndexFromSoA[V any](los, his []Addr, vals []V, jump []int32) (*FlatIndex[V], error) {
+	if len(his) != len(los) || len(vals) != len(los) {
+		return nil, fmt.Errorf("ipx: SoA length mismatch: %d los, %d his, %d vals",
+			len(los), len(his), len(vals))
+	}
+	if len(jump) != 1<<16+1 {
+		return nil, fmt.Errorf("ipx: jump table has %d entries, want %d", len(jump), 1<<16+1)
+	}
+	for i := range los {
+		if los[i] > his[i] {
+			return nil, fmt.Errorf("ipx: inverted interval %d: %v-%v", i, los[i], his[i])
+		}
+		if i > 0 && los[i] <= his[i-1] {
+			return nil, fmt.Errorf("ipx: intervals %d and %d out of order or overlapping", i-1, i)
+		}
+	}
+	k := 0
+	for i, lo := range los {
+		for k <= int(lo>>16) {
+			if jump[k] != int32(i) {
+				return nil, fmt.Errorf("ipx: jump[%d] = %d, want %d", k, jump[k], i)
+			}
+			k++
+		}
+	}
+	for ; k <= 1<<16; k++ {
+		if jump[k] != int32(len(los)) {
+			return nil, fmt.Errorf("ipx: jump[%d] = %d, want %d", k, jump[k], len(los))
+		}
+	}
+	return &FlatIndex[V]{los: los, his: his, vals: vals, jump: jump}, nil
+}
 
 // find returns the index of the interval covering a, if any.
 func (x *FlatIndex[V]) find(a Addr) (int, bool) {

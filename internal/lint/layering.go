@@ -36,6 +36,14 @@ var layerRules = []layerRule{
 		why:   "obs is infrastructure: it imports nothing internal so every package can import it",
 	},
 	{
+		from: "routergeo/internal/geodb/snapshot",
+		to: []string{
+			"routergeo/internal/obs",
+			"routergeo/internal/geodb/httpapi",
+		},
+		why: "snapshot sits below the serving layer: the format must load in any binary with no observability or HTTP baggage",
+	},
+	{
 		from: "routergeo",
 		to:   []string{"routergeo/cmd"},
 		why:  "cmd packages are binaries (composition roots), never imported",
@@ -48,8 +56,10 @@ var Layering = &Analyzer{
 	Name: "layering",
 	Doc: "Enforces the module's import DAG: internal/stats and " +
 		"internal/ipx may not import internal/obs or internal/geodb, " +
-		"internal/obs imports nothing internal, and no package may import " +
-		"anything under cmd/.",
+		"internal/obs imports nothing internal, " +
+		"internal/geodb/snapshot may not import internal/obs or the " +
+		"httpapi serving layer, and no package may import anything " +
+		"under cmd/.",
 	Run: runLayering,
 }
 

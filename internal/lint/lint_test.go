@@ -136,6 +136,25 @@ func TestLayeringFixture(t *testing.T) {
 	checkFixture(t, l, "fixlayer", "routergeo/internal/stats/fixlayer", []*Analyzer{Layering})
 }
 
+// TestLayeringSnapshotFixture pins the snapshot-layer rule: loaded as a
+// snapshot subpackage, importing obs or httpapi is flagged while the
+// geodb import (the type snapshot decodes into) passes.
+func TestLayeringSnapshotFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixsnaplayer", "routergeo/internal/geodb/snapshot/fixsnaplayer", []*Analyzer{Layering})
+}
+
+// TestLayeringSnapshotOutOfScope pins that the snapshot rule does not
+// leak upward: the same fixture loaded as an httpapi subpackage (which
+// legitimately imports obs and lives in the serving layer) stays clean.
+func TestLayeringSnapshotOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixsnaplayer", "routergeo/internal/geodb/httpapi/fixsnaplayer")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{Layering}); len(fs) != 0 {
+		t.Fatalf("snapshot layering rule fired outside its subtree: %v", fs)
+	}
+}
+
 func TestLayeringObsSubtree(t *testing.T) {
 	l := newTestLoader(t)
 	pkg := loadFixture(t, l, "layerobs", "routergeo/internal/obs/layerobs")

@@ -1,0 +1,11 @@
+// Package fixsnaplayer plants snapshot-layer violations. The test loads
+// it as a subpackage of internal/geodb/snapshot, where importing obs or
+// the httpapi serving layer breaks the snapshot-below-serving rule while
+// the parent geodb package (which snapshot decodes into) stays legal.
+package fixsnaplayer
+
+import (
+	_ "routergeo/internal/geodb"
+	_ "routergeo/internal/geodb/httpapi" // want:layering
+	_ "routergeo/internal/obs"           // want:layering
+)

@@ -1,0 +1,135 @@
+package routergeo
+
+// Acceptance suite for the snapshot hot-reload path: a remote accuracy
+// sweep served from memory-mapped snapshots must be byte-identical to
+// the local evaluation even while the server hot-swaps a new snapshot
+// generation mid-sweep — with the flip visible in the client's flip
+// counter, in /v2/stats, and in the run manifest's taint section.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"routergeo/internal/core"
+	"routergeo/internal/geodb/httpapi"
+	"routergeo/internal/geodb/snapshot"
+	"routergeo/internal/obs"
+)
+
+func TestSnapshotHotReloadSweepByteIdentical(t *testing.T) {
+	s := testStudy(t)
+	dir := t.TempDir()
+	publish := func(epoch int64) {
+		for _, db := range s.env.DBs {
+			path := filepath.Join(dir, strings.ToLower(db.Name())+snapshot.Ext)
+			meta := snapshot.Meta{BuildEpoch: epoch, SourceFormat: "study"}
+			if err := snapshot.WriteFile(path, db, meta); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	publish(1)
+
+	h := httpapi.NewHandler(nil)
+	rel := httpapi.NewReloader(h, dir, time.Hour, nil)
+	if _, err := rel.Rescan(true); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := h.Generation()
+
+	// The flipper republishes the same data under a new build epoch on
+	// the third lookup batch and completes a synchronous hot reload
+	// before answering it — guaranteeing the sweep spans two generations.
+	var lookups atomic.Int64
+	var flipped atomic.Bool
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v2/lookup" && lookups.Add(1) == 3 {
+			publish(2)
+			swapped, err := rel.Rescan(false)
+			if err != nil || !swapped {
+				t.Errorf("mid-sweep rescan: swapped=%v err=%v", swapped, err)
+			}
+			flipped.Store(true)
+		}
+		h.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(wrapped)
+	defer srv.Close()
+
+	rec := obs.NewRun("snapshot-acceptance")
+	var totalFlips int64
+	for _, db := range s.env.DBs {
+		c := httpapi.NewClient(srv.URL,
+			httpapi.WithDatabase(db.Name()),
+			httpapi.WithClientMaxBatch(200),
+			httpapi.WithClientMetrics(rec.Registry()))
+		remote, err := httpapi.NewRemoteProvider(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := core.MeasureAccuracy(context.Background(), db, s.env.Targets)
+		got := core.MeasureAccuracy(context.Background(), remote, s.env.Targets)
+		if !bytes.Equal(accuracyFingerprint(t, local), accuracyFingerprint(t, got)) {
+			t.Errorf("%s: snapshot-served sweep diverged from local evaluation", db.Name())
+		}
+		if err := remote.Err(); err != nil {
+			t.Errorf("%s: transport errors during sweep: %v", db.Name(), err)
+		}
+		flips := remote.GenerationFlips()
+		totalFlips += flips
+		rec.SetTaint("remote."+strings.ToLower(db.Name())+".generation_flips", flips)
+	}
+
+	// The hot reload really happened mid-sweep, with batches on both
+	// sides of it.
+	if !flipped.Load() {
+		t.Fatalf("sweep finished in %d batches, before the flip trigger", lookups.Load())
+	}
+	if lookups.Load() <= 3 {
+		t.Fatalf("flip was not mid-sweep: only %d lookup batches", lookups.Load())
+	}
+	if totalFlips < 1 {
+		t.Error("no client observed the generation flip")
+	}
+
+	// The flip is visible on the /v2 surface...
+	stats, err := httpapi.NewClient(srv.URL).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation == gen1 || stats.Generation != h.Generation() {
+		t.Errorf("stats generation = %q (started %q, serving %q)",
+			stats.Generation, gen1, h.Generation())
+	}
+	if stats.Reloads < 2 {
+		t.Errorf("stats reloads = %d, want >= 2 (initial + mid-sweep)", stats.Reloads)
+	}
+	if len(stats.Snapshots) != len(s.env.DBs) {
+		t.Errorf("stats snapshots = %d entries, want %d", len(stats.Snapshots), len(s.env.DBs))
+	}
+	for name, si := range stats.Snapshots {
+		if si.SourceFormat != "snapshot" || si.Checksum == "" {
+			t.Errorf("snapshot identity for %s incomplete: %+v", name, si)
+		}
+	}
+
+	// ...and in the run manifest's taint section.
+	m := rec.Manifest()
+	var manifestFlips int64
+	for name, n := range m.Taint {
+		if strings.HasSuffix(name, ".generation_flips") {
+			manifestFlips += n
+		}
+	}
+	if manifestFlips != totalFlips || manifestFlips < 1 {
+		t.Errorf("manifest taint records %d generation flips, providers saw %d",
+			manifestFlips, totalFlips)
+	}
+}
