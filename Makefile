@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race chaos bench bench-compare fuzz-snap
+.PHONY: check vet fmt lint build test race chaos metrics-verify bench bench-compare fuzz-snap
 
-check: vet fmt lint build race
+check: vet fmt lint build race metrics-verify
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,14 @@ chaos:
 	$(GO) test -race -run 'Chaos' -v .
 	$(GO) test -race ./internal/faults/ ./internal/geodb/httpapi/
 
+# Observability acceptance suite: boots the real geoserve binary against
+# a CSV fixture, scrapes GET /metrics, and validates the exposition with
+# the in-repo parser (internal/obs.LintExposition), then watches
+# GET /v2/events live through a sweep, a hot reload and a breaker trip —
+# see metrics_verify_test.go.
+metrics-verify:
+	$(GO) test -race -run 'MetricsVerify' -v .
+
 # Measurement-engine benchmarks: sweep throughput serial vs parallel,
 # plus the lookup index and ECDF machinery under it. Teed into
 # BENCH_core.json, the committed baseline bench-compare gates against.
@@ -60,9 +68,17 @@ BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/...
 SNAP_BENCH_PATTERN = Write|Decode|Open|Lookup
 SNAP_BENCH_PKGS = ./internal/geodb/snapshot/...
 
+# Observability benchmarks: the Prometheus render cost per scrape and
+# the event-bus publish cost on the lookup/reload hot path (idle,
+# stalled-subscriber and draining-subscriber cases). Teed into
+# BENCH_obs.json, the committed baseline bench-compare gates against.
+OBS_BENCH_PATTERN = PromRender|EventPublish
+OBS_BENCH_PKGS = ./internal/obs/
+
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.json
 	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.json
+	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.json
 
 # bench-compare re-runs the engine benchmarks and fails on any ns/op
 # regression past the threshold against the committed baseline.
@@ -71,6 +87,8 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold 1.30
 	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.new.json
 	$(GO) run ./cmd/benchcompare -old BENCH_snap.json -new BENCH_snap.new.json -threshold 1.30
+	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_obs.json -new BENCH_obs.new.json -threshold 1.30
 
 # 10-second snapshot decoder fuzz smoke — the same job CI runs. The
 # corpus seeds live in the package; findings land in testdata/fuzz.

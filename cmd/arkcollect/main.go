@@ -26,12 +26,13 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "world seed")
-		ases     = flag.Int("ases", 0, "number of ASes (0 = default)")
-		monitors = flag.Int("monitors", 0, "number of monitors (0 = default)")
-		cycles   = flag.Int("cycles", 0, "probing cycles (0 = default)")
-		out      = flag.String("out", "", "write one observed address per line to this file ('-' = stdout)")
-		warts    = flag.String("warts", "", "archive every raw trace to this file in the wartslite container")
+		seed      = flag.Int64("seed", 1, "world seed")
+		ases      = flag.Int("ases", 0, "number of ASes (0 = default)")
+		monitors  = flag.Int("monitors", 0, "number of monitors (0 = default)")
+		cycles    = flag.Int("cycles", 0, "probing cycles (0 = default)")
+		out       = flag.String("out", "", "write one observed address per line to this file ('-' = stdout)")
+		warts     = flag.String("warts", "", "archive every raw trace to this file in the wartslite container")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -39,6 +40,9 @@ func main() {
 	if _, err := lf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "arkcollect:", err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, nil, obs.Events(), nil)
 	}
 
 	wcfg := netsim.DefaultConfig()

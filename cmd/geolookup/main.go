@@ -45,10 +45,11 @@ func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	var (
-		server   = flag.String("server", "", "geoserve base URL; queries /v2/lookup instead of local files")
-		remoteDB = flag.String("rdb", "", "with -server: restrict lookups to one database name")
-		format   = dbload.Auto
-		dbPaths  dbList
+		server    = flag.String("server", "", "geoserve base URL; queries /v2/lookup instead of local files")
+		remoteDB  = flag.String("rdb", "", "with -server: restrict lookups to one database name")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
+		format    = dbload.Auto
+		dbPaths   dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&dbPaths, "db", "path to a database file or a directory of them (repeatable)")
@@ -59,6 +60,9 @@ func main() {
 	if _, err := lf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "geolookup:", err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, nil, obs.Events(), nil)
 	}
 
 	if *server != "" {

@@ -12,8 +12,11 @@
 //
 // Endpoints: GET /v1/databases, GET /v1/lookup?ip=A[&db=N] (stable),
 // POST /v2/lookup (batch), GET /v2/databases, GET /v2/stats,
-// POST /v2/admin/reload (with -admin), and GET /healthz (which reports
-// "draining" once shutdown starts).
+// POST /v2/admin/reload (with -admin), GET /healthz (which reports
+// "draining" once shutdown starts), GET /metrics (Prometheus text
+// exposition; Accept: application/json selects the raw registry
+// snapshot), and GET /v2/events (the live event stream as SSE:
+// generation swaps, reload outcomes, chaos injections).
 //
 // With -snap-dir the serving set is a generation: the directory is
 // polled every -reload-interval, and when a publisher renames new
@@ -47,8 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -80,7 +83,7 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		grace       = flag.Duration("grace", time.Second, "delay between /healthz flipping to draining and the listener closing")
 		quiet       = flag.Bool("quiet", false, "silence routine access logs (4xx/5xx still log)")
-		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof and /debug/metrics")
+		debugAddr   = flag.String("debug-addr", "", "optional debug listener serving pprof, /debug/metrics, /metrics and the /v2/events stream")
 		par         = flag.Int("parallelism", 0, "worker count for measurement loops and the default batch pool width (0 = GOMAXPROCS)")
 		chaos       = flag.String("chaos", "", "fault-injection policy, e.g. mixed or errors:rate=0.5,seed=7 (see internal/faults)")
 		snapDir     = flag.String("snap-dir", "", "directory of .rgsnap snapshots to serve and hot-reload from")
@@ -188,8 +191,9 @@ func main() {
 
 	// The chaos middleware sits outside the whole handler stack so its
 	// faults hit logging, metrics and recovery exactly as real transport
-	// trouble would. /healthz and /v2/stats stay exempt: an operator
-	// watching a chaos run needs a clean control channel.
+	// trouble would. /healthz, /v2/stats, /metrics and /v2/events stay
+	// exempt: an operator watching a chaos run needs clean control and
+	// observation channels.
 	var root http.Handler = handler
 	if *chaos != "" {
 		policy, err := faults.Parse(*chaos)
@@ -198,39 +202,38 @@ func main() {
 			os.Exit(2)
 		}
 		injector := faults.New(policy,
-			faults.WithExemptPaths("/healthz", "/v2/stats"),
+			faults.WithExemptPaths("/healthz", "/v2/stats", "/metrics", "/v2/events"),
 			faults.WithObserver(func(k faults.Kind) {
 				handler.Registry().Counter("chaos.injected." + string(k)).Inc()
+				handler.EventBus().Publish("chaos.inject", "kind", string(k))
 			}))
 		root = injector.Middleware(handler)
 		logger.Warn("chaos fault injection armed", "policy", policy.Name, "seed", policy.Seed)
 	}
 
 	if *debugAddr != "" {
-		dbg := http.NewServeMux()
-		dbg.HandleFunc("/debug/pprof/", pprof.Index)
-		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dbg.Handle("/debug/metrics", handler.Registry().Handler())
-		go func() {
-			logger.Info("debug listener up", "addr", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				logger.Error("debug listener failed", "error", err)
-			}
-		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+		obs.ServeDebug(*debugAddr, handler.Registry(), handler.EventBus(), func(err error) {
+			logger.Error("debug listener failed", "error", err)
+		})
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	// Listen before serving so the printed address is the actual bound
+	// one — with -addr :0 (tests, parallel CI) the kernel picks the port
+	// and the "listening on" line is how callers learn it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geoserve:", err)
+		os.Exit(1)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "listening on http://%s\n", *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "listening on http://%s\n", ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -43,12 +43,13 @@ func (d *dbList) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	var (
-		build   = flag.Bool("build", false, "build a study and snapshot its four vendor databases")
-		seed    = flag.Int64("seed", 1, "world seed (with -build)")
-		out     = flag.String("out", "", "output directory (or single-file path with exactly one -db)")
-		epoch   = flag.Int64("epoch", 0, "build epoch recorded in the snapshot, unix seconds (0 = now)")
-		info    = flag.Bool("info", false, "inspect snapshot files named as arguments instead of writing")
-		dbPaths dbList
+		build     = flag.Bool("build", false, "build a study and snapshot its four vendor databases")
+		seed      = flag.Int64("seed", 1, "world seed (with -build)")
+		out       = flag.String("out", "", "output directory (or single-file path with exactly one -db)")
+		epoch     = flag.Int64("epoch", 0, "build epoch recorded in the snapshot, unix seconds (0 = now)")
+		info      = flag.Bool("info", false, "inspect snapshot files named as arguments instead of writing")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
+		dbPaths   dbList
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&dbPaths, "db", "database file to convert, any format (repeatable)")
@@ -57,6 +58,9 @@ func main() {
 	if _, err := lf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "geosnap:", err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, nil, obs.Events(), nil)
 	}
 
 	if *info {

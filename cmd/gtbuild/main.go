@@ -34,11 +34,12 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "world seed")
-		ases    = flag.Int("ases", 0, "number of ASes (0 = default)")
-		csvPath = flag.String("csv", "", "write the merged ground truth as CSV to this path")
-		outPath = flag.String("out", "", "export the ground truth as a geolocation database to this path")
-		format  = dbload.Auto
+		seed      = flag.Int64("seed", 1, "world seed")
+		ases      = flag.Int("ases", 0, "number of ASes (0 = default)")
+		csvPath   = flag.String("csv", "", "write the merged ground truth as CSV to this path")
+		outPath   = flag.String("out", "", "export the ground truth as a geolocation database to this path")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
+		format    = dbload.Auto
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Var(&format, "format", "with -out: database format (csv, dbfile or snap; default: by extension)")
@@ -47,6 +48,9 @@ func main() {
 	if _, err := lf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gtbuild:", err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, nil, obs.Events(), nil)
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -54,6 +54,7 @@ func main() {
 		par       = flag.Int("parallelism", 0, "worker count for measurement loops and the experiment fan-out; 1 forces the serial path (0 = GOMAXPROCS)")
 		remote    = flag.String("remote", "", "instead of experiments, score the accuracy sweep through a geoserve instance at this base URL")
 		remoteFB  = flag.Bool("remote-fallback", true, "with -remote, degrade to the locally built databases when the server cannot answer (false: misses are tainted instead)")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -84,6 +85,14 @@ func main() {
 
 	rec := obs.NewRun("routergeo")
 	rec.SetSeed(*seed)
+	if *debugAddr != "" {
+		// The sweep's progress ticks, span boundaries and client breaker
+		// transitions stream live from this listener's /v2/events.
+		obs.ServeDebug(*debugAddr, rec.Registry(), obs.Events(), func(err error) {
+			slog.Error("debug listener failed", "error", err)
+		})
+		slog.Info("debug listener up", "addr", *debugAddr)
+	}
 	if err := rec.SetConfig(cfg); err != nil {
 		slog.Warn("run config not recorded", "error", err)
 	}

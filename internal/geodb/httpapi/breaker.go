@@ -105,12 +105,17 @@ func (b *breaker) bindRegistry(reg *obs.Registry) {
 	b.stateGauge.Set(b.state)
 }
 
-// setState transitions the breaker and mirrors the gauge. Callers hold mu.
+// setState transitions the breaker, mirrors the gauge, and announces the
+// transition on the process event bus (obs.Publish never blocks, so
+// holding mu across it is safe). Callers hold mu.
 func (b *breaker) setState(s int64) {
+	old := b.state
 	b.state = s
 	if b.stateGauge != nil {
 		b.stateGauge.Set(s)
 	}
+	obs.Publish("breaker",
+		"host", b.host, "from", breakerStateName(old), "to", breakerStateName(s))
 }
 
 // allow reports whether a request may proceed. Open breakers reject with

@@ -138,6 +138,8 @@ func (h *Handler) Swap(dbs []*geodb.DB, closers ...func() error) string {
 	g := newGeneration(dbs, closers)
 	old := h.gen.Swap(g)
 	h.metrics.swaps.Inc()
+	h.bus.Publish("generation.swap",
+		"from", old.id, "to", g.id, "databases", len(g.names))
 	old.release()
 	return g.id
 }

@@ -97,6 +97,11 @@ func newMetrics(dbNames []string) *metrics {
 		byEndpoint: make(map[string]*obs.Counter),
 		byDB:       make(map[string]*dbTally, len(dbNames)),
 	}
+	// Help text rides into the Prometheus exposition's # HELP lines.
+	reg.SetHelp("http.requests", "HTTP requests served, across every route.")
+	reg.SetHelp("http.errors", "HTTP responses with status >= 400.")
+	reg.SetHelp("http.latency_ms", "Request latency in milliseconds, end to end through the middleware stack.")
+	reg.SetHelp("generation.swaps", "Hot-reload generation swaps since the server started.")
 	// Pre-seed the initial serving set so its tallies exist (at zero) on
 	// the first /v2/stats; later names join on first lookup.
 	for _, name := range dbNames {

@@ -26,6 +26,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.NewResponseController, so
+// streaming handlers (the /v2/events SSE stream) can still flush through
+// the logging wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // recoveryMiddleware converts a handler panic into a 500 instead of
 // tearing down the connection (and, under http.Server, the goroutine).
 // http.ErrAbortHandler is re-raised: it is the sanctioned "kill this

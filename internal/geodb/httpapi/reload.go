@@ -60,6 +60,8 @@ func NewReloader(h *Handler, dir string, interval time.Duration, logger *slog.Lo
 	if interval <= 0 {
 		interval = DefaultReloadInterval
 	}
+	h.Registry().SetHelp("reload.count", "Successful snapshot-directory hot reloads.")
+	h.Registry().SetHelp("reload.failures", "Snapshot rescans that failed and left the serving generation untouched.")
 	return &Reloader{
 		h:        h,
 		dir:      dir,
@@ -119,11 +121,14 @@ func (r *Reloader) Rescan(force bool) (bool, error) {
 	stamps, err := r.scan()
 	if err != nil {
 		r.failures.Inc()
+		r.h.bus.Publish("reload.fail", "dir", r.dir, "error", err.Error())
 		return false, err
 	}
 	if len(stamps) == 0 {
 		r.failures.Inc()
-		return false, fmt.Errorf("httpapi: no %s files in %s", snapshot.Ext, r.dir)
+		err := fmt.Errorf("httpapi: no %s files in %s", snapshot.Ext, r.dir)
+		r.h.bus.Publish("reload.fail", "dir", r.dir, "error", err.Error())
+		return false, err
 	}
 	if !force && sameStamps(stamps, r.state) {
 		return false, nil
@@ -143,6 +148,7 @@ func (r *Reloader) Rescan(force bool) (bool, error) {
 				_ = c()
 			}
 			r.failures.Inc()
+			r.h.bus.Publish("reload.fail", "path", p, "error", err.Error())
 			if r.logger != nil {
 				r.logger.Error("snapshot reload failed; keeping serving generation",
 					"path", p, "error", err)
@@ -155,6 +161,7 @@ func (r *Reloader) Rescan(force bool) (bool, error) {
 	gen := r.h.Swap(dbs, closers...)
 	r.state = stamps
 	r.reloads.Inc()
+	r.h.bus.Publish("reload.ok", "generation", gen, "databases", len(dbs), "dir", r.dir)
 	if r.logger != nil {
 		r.logger.Info("snapshot generation swapped in",
 			"generation", gen, "databases", len(dbs), "dir", r.dir)

@@ -86,6 +86,29 @@ func WithAdminReload(hook func(force bool) (bool, error)) ServerOption {
 	return func(h *Handler) { h.reloadHook = hook }
 }
 
+// WithEventBus replaces the handler's event bus (default: the
+// process-wide obs.Events() bus). Server-side happenings — generation
+// swaps, reload outcomes, chaos injections — publish here, and
+// GET /v2/events streams it. Tests use a private bus for isolation.
+func WithEventBus(b *obs.EventBus) ServerOption {
+	return func(h *Handler) {
+		if b != nil {
+			h.bus = b
+		}
+	}
+}
+
+// WithEventHeartbeat sets the /v2/events keep-alive comment interval
+// (default obs.DefaultSSEHeartbeat). Tests shorten it to observe
+// liveness quickly.
+func WithEventHeartbeat(d time.Duration) ServerOption {
+	return func(h *Handler) {
+		if d > 0 {
+			h.sseHeartbeat = d
+		}
+	}
+}
+
 // Handler serves the /v1 and /v2 API over a generation of databases.
 // The serving set is swappable at runtime (Swap, the hot-reload path);
 // everything else is immutable after NewHandler except the draining
@@ -103,18 +126,33 @@ type Handler struct {
 	draining atomic.Bool
 	metrics  *metrics
 
+	// bus carries the server's live event stream; streamStop is closed
+	// once when the server starts draining, ending every /v2/events
+	// connection so graceful shutdown never waits on an open stream.
+	bus          *obs.EventBus
+	sseHeartbeat time.Duration
+	streamStop   chan struct{}
+	stopOnce     sync.Once
+
 	serve http.Handler
 }
 
 // NewHandler serves the given databases behind the full middleware
 // stack (panic recovery, optional request logging, metrics, request
-// timeout).
+// timeout). Two routes sit outside the timeout+metrics layers:
+// GET /metrics (the Prometheus exposition must not skew the latency
+// histogram it reports) and GET /v2/events (a deliberately long-lived
+// SSE stream that http.TimeoutHandler would both kill and — its writer
+// has no Flusher — break).
 func NewHandler(dbs []*geodb.DB, opts ...ServerOption) *Handler {
 	h := &Handler{
-		maxBatch:    DefaultMaxBatch,
-		maxBody:     DefaultMaxBodyBytes,
-		timeout:     DefaultRequestTimeout,
-		concurrency: runtime.GOMAXPROCS(0),
+		maxBatch:     DefaultMaxBatch,
+		maxBody:      DefaultMaxBodyBytes,
+		timeout:      DefaultRequestTimeout,
+		concurrency:  runtime.GOMAXPROCS(0),
+		bus:          obs.Events(),
+		sseHeartbeat: obs.DefaultSSEHeartbeat,
+		streamStop:   make(chan struct{}),
 	}
 	gen := newGeneration(dbs, nil)
 	h.gen.Store(gen)
@@ -136,12 +174,22 @@ func NewHandler(dbs []*geodb.DB, opts ...ServerOption) *Handler {
 		mux.HandleFunc("POST /v2/admin/reload", h.handleAdminReload)
 	}
 
-	var stack http.Handler = mux
+	var api http.Handler = mux
 	if h.timeout > 0 {
-		stack = http.TimeoutHandler(stack, h.timeout, `{"error":"request timed out"}`)
+		api = http.TimeoutHandler(api, h.timeout, `{"error":"request timed out"}`)
 	}
-	stack = h.generationMiddleware(stack)
-	stack = h.metrics.middleware(stack)
+	api = h.metrics.middleware(api)
+
+	outer := http.NewServeMux()
+	outer.Handle("/", api)
+	outer.Handle("GET /metrics", obs.PromHandler(h.metrics.reg))
+	outer.Handle("GET /v2/events", obs.NewSSEHandler(h.bus,
+		obs.WithSSEHeartbeat(h.sseHeartbeat),
+		obs.WithSSEStop(h.streamStop),
+		obs.WithSSERegistry(h.metrics.reg),
+	))
+
+	stack := h.generationMiddleware(outer)
 	if h.logger != nil {
 		stack = loggingMiddleware(h.logger, stack)
 	}
@@ -157,15 +205,29 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // SetDraining flips the /healthz answer between "ok" (200) and
 // "draining" (503), so load balancers stop routing to a server that is
-// shutting down while in-flight requests finish.
-func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
+// shutting down while in-flight requests finish. Entering the draining
+// state also ends every open /v2/events stream (once — streams stay
+// closed even if draining is later unset), so http.Server.Shutdown
+// never waits on them.
+func (h *Handler) SetDraining(v bool) {
+	h.draining.Store(v)
+	if v {
+		h.stopOnce.Do(func() { close(h.streamStop) })
+	}
+}
 
 // Draining reports the current drain state.
 func (h *Handler) Draining() bool { return h.draining.Load() }
 
 // Registry exposes the handler's metrics registry — the same instruments
-// /v2/stats is assembled from — for debug endpoints and tests.
+// /v2/stats and /metrics are assembled from — for debug endpoints and
+// tests.
 func (h *Handler) Registry() *obs.Registry { return h.metrics.reg }
+
+// EventBus exposes the bus behind GET /v2/events, so co-located
+// subsystems (the chaos middleware, the reloader) publish onto the same
+// stream the server serves.
+func (h *Handler) EventBus() *obs.EventBus { return h.bus }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if h.draining.Load() {

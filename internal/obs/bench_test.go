@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchRegistry builds a registry shaped like a busy geoserve: a few
+// dozen counters and gauges (per-database hit/miss tallies, breaker
+// state) plus latency histograms with the default bucket layout.
+func benchRegistry() *Registry {
+	reg := NewRegistry()
+	for i := 0; i < 24; i++ {
+		c := reg.Counter(fmt.Sprintf("db.source%02d.hits", i))
+		c.Add(int64(i * 1000))
+		reg.Counter(fmt.Sprintf("db.source%02d.misses", i)).Add(int64(i))
+	}
+	for i := 0; i < 12; i++ {
+		reg.Gauge(fmt.Sprintf("client.breaker.host%02d.state", i)).Set(int64(i % 3))
+	}
+	for i := 0; i < 4; i++ {
+		h := reg.Histogram(fmt.Sprintf("http.latency_ms.route%d", i), nil)
+		for v := 0.1; v < 5000; v *= 3 {
+			h.Observe(v)
+		}
+	}
+	return reg
+}
+
+// BenchmarkPromRender measures one full text-exposition render of the
+// registry — the per-scrape cost of GET /metrics (minus the ambient
+// collectors, which are dominated by runtime/metrics sampling).
+func BenchmarkPromRender(b *testing.B) {
+	reg := benchRegistry()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WritePrometheus(&buf, reg, "routergeo"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkEventPublish measures EventBus.Publish in the three states a
+// producer can meet: nobody listening, a live (draining) subscriber, and
+// a stalled subscriber exercising the drop path. All three must stay
+// cheap — hot paths publish unconditionally.
+func BenchmarkEventPublish(b *testing.B) {
+	b.Run("idle", func(b *testing.B) {
+		bus := NewEventBus(DefaultEventRing)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Publish("bench", "i", i)
+		}
+	})
+	b.Run("stalled-subscriber", func(b *testing.B) {
+		bus := NewEventBus(DefaultEventRing)
+		sub := bus.Subscribe(8)
+		defer sub.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Publish("bench", "i", i)
+		}
+	})
+	b.Run("draining-subscriber", func(b *testing.B) {
+		bus := NewEventBus(DefaultEventRing)
+		sub := bus.Subscribe(DefaultSubBuffer)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range sub.C() {
+			}
+		}()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Publish("bench", "i", i)
+		}
+		sub.Close()
+		<-done
+	})
+}
+
+// BenchmarkProgressDisabled guards the hot path of sweep loops: with
+// progress logging gated off and no event subscriber, Add must stay a
+// couple of atomic operations.
+func BenchmarkProgressDisabled(b *testing.B) {
+	prog := NewProgress("bench", int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Add(1)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux assembles the standard debug listener every binary mounts
+// behind -debug-addr:
+//
+//	/debug/pprof/*   the usual profiles
+//	/debug/metrics   the registry snapshot as JSON (legacy shape)
+//	/metrics         Prometheus text exposition 0.0.4 (registry +
+//	                 ambient process/runtime collectors)
+//	/v2/events       the live event stream as SSE (also at /events)
+//
+// reg nil uses a fresh empty registry (the ambient collectors still
+// report); bus nil uses the process-wide Events() bus, which is what
+// sweeps publish progress and span boundaries to.
+func NewDebugMux(reg *Registry, bus *EventBus) *http.ServeMux {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if bus == nil {
+		bus = Events()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/metrics", reg.Handler())
+	mux.Handle("/metrics", PromHandler(reg))
+	sse := NewSSEHandler(bus, WithSSERegistry(reg))
+	mux.Handle("/v2/events", sse)
+	mux.Handle("/events", sse)
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr in a goroutine and
+// reports startup through onErr (nil ignores failures). It never blocks;
+// the listener lives for the process lifetime.
+func ServeDebug(addr string, reg *Registry, bus *EventBus, onErr func(error)) {
+	go func() {
+		if err := http.ListenAndServe(addr, NewDebugMux(reg, bus)); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -41,6 +42,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -49,7 +51,24 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches a human-readable description to the instrument
+// registered under name. The Prometheus exposition emits it as the
+// metric's # HELP line; instruments without one get a generated default.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// helpText returns the registered help for name, or "".
+func (r *Registry) helpText(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // Counter returns the counter registered under name, creating it on
@@ -121,6 +140,27 @@ type Snapshot struct {
 func (s Snapshot) Empty() bool {
 	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
 }
+
+// sortedKeys returns m's keys in sorted order — the deterministic
+// iteration order every consumer of a snapshot must use. (The JSON
+// handler gets it for free: encoding/json sorts map keys.)
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge names, sorted.
+func (s Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the snapshot's histogram names, sorted.
+func (s Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
 
 // Snapshot copies every instrument's current state.
 func (r *Registry) Snapshot() Snapshot {

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition content type this
+// package emits (format version 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DefaultPromPrefix namespaces every registry-derived metric name, so
+// dashboards can select the whole application with one matcher and the
+// unprefixed process_*/go_* ambient names never collide with it.
+const DefaultPromPrefix = "routergeo"
+
+// promSanitize maps one dotted registry key onto the Prometheus metric
+// name charset: lowercased, every illegal character replaced by "_".
+func promSanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// PromName derives the exposition name for a dotted registry key:
+// prefix + "_" + sanitized key (the key alone when prefix is empty). A
+// name that would open with a digit gets a leading "_" so the result
+// always matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+// client.outage.generation_flips with the default prefix becomes
+// routergeo_client_outage_generation_flips (counters additionally get
+// the _total suffix at render time).
+func PromName(prefix, dotted string) string {
+	out := promSanitize(dotted)
+	if prefix != "" {
+		out = promSanitize(prefix) + "_" + out
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// promEscapeHelp escapes a HELP line per the exposition format.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value per the exposition format.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat formats a sample value or bucket bound the way Prometheus
+// parsers expect.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promWriter accumulates exposition text, deduplicating metric names:
+// distinct dotted keys that sanitize to the same name get deterministic
+// _2/_3... suffixes (iteration is over sorted keys, so the assignment is
+// stable run to run).
+type promWriter struct {
+	w    io.Writer
+	err  error
+	used map[string]bool
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, used: map[string]bool{}}
+}
+
+func (p *promWriter) claim(name string) string {
+	if !p.used[name] {
+		p.used[name] = true
+		return name
+	}
+	for i := 2; ; i++ {
+		alt := name + "_" + strconv.Itoa(i)
+		if !p.used[alt] {
+			p.used[alt] = true
+			return alt
+		}
+	}
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the # HELP / # TYPE pair for one metric family.
+func (p *promWriter) header(name, help, typ string) {
+	if help == "" {
+		help = "routergeo " + typ + " (auto-registered)"
+	}
+	p.printf("# HELP %s %s\n", name, promEscapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// histogram emits one full histogram family: cumulative le buckets from
+// the fixed bounds, the implicit overflow bucket as +Inf, then sum and
+// count.
+func (p *promWriter) histogram(name, help string, bounds []float64, counts []int64, sum float64, count int64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		p.printf("%s_bucket{le=\"%s\"} %d\n", name, promFloat(b), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	p.printf("%s_sum %s\n", name, promFloat(sum))
+	p.printf("%s_count %d\n", name, count)
+}
+
+// WritePrometheus renders every instrument in reg in Prometheus text
+// exposition format 0.0.4 under the given name prefix
+// (DefaultPromPrefix when empty): counters first, then gauges, then
+// histograms, each group in sorted dotted-name order — the output is a
+// pure, deterministic function of the registry state.
+func WritePrometheus(w io.Writer, reg *Registry, prefix string) error {
+	if prefix == "" {
+		prefix = DefaultPromPrefix
+	}
+	snap := reg.Snapshot()
+	p := newPromWriter(w)
+	for _, name := range snap.CounterNames() {
+		n := p.claim(PromName(prefix, name) + "_total")
+		p.header(n, reg.helpText(name), "counter")
+		p.printf("%s %d\n", n, snap.Counters[name])
+	}
+	for _, name := range snap.GaugeNames() {
+		n := p.claim(PromName(prefix, name))
+		p.header(n, reg.helpText(name), "gauge")
+		p.printf("%s %d\n", n, snap.Gauges[name])
+	}
+	for _, name := range snap.HistogramNames() {
+		h := snap.Histograms[name]
+		n := p.claim(PromName(prefix, name))
+		p.histogram(n, reg.helpText(name), h.Bounds, h.Counts, h.Sum, h.Count)
+	}
+	return p.err
+}
+
+// runtimeSamples are the runtime/metrics readings the ambient collectors
+// expose. Read returns KindBad for names a runtime no longer knows, and
+// the renderer skips those, so the list degrades gracefully across Go
+// versions.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// buildIdentity resolves the build_info labels once: module version,
+// VCS revision and the Go toolchain version.
+func buildIdentity() (version, commit string) {
+	version, commit = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return version, commit
+}
+
+// WriteProcessMetrics renders the ambient process/runtime collectors:
+// a build_info gauge (version, commit, Go version), process CPU seconds
+// and resident memory, goroutine count, GC cycle count, live heap bytes
+// and the GC pause distribution as a native histogram — everything a
+// standard Go dashboard expects, without importing any client library.
+func WriteProcessMetrics(w io.Writer) error {
+	p := newPromWriter(w)
+
+	version, commit := buildIdentity()
+	n := p.claim(DefaultPromPrefix + "_build_info")
+	p.header(n, "Build identity; the value is always 1.", "gauge")
+	p.printf("%s{commit=%q,goversion=%q,version=%q} 1\n",
+		n, promEscapeLabel(commit), promEscapeLabel(runtime.Version()), promEscapeLabel(version))
+
+	n = p.claim("process_cpu_seconds_total")
+	p.header(n, "Total user and system CPU time spent in seconds.", "counter")
+	p.printf("%s %s\n", n, promFloat(processCPU().Seconds()))
+
+	if rss := residentBytes(); rss > 0 {
+		n = p.claim("process_resident_memory_bytes")
+		p.header(n, "Resident set size in bytes.", "gauge")
+		p.printf("%s %d\n", n, rss)
+	}
+
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				n = p.claim("go_goroutines")
+				p.header(n, "Number of goroutines that currently exist.", "gauge")
+				p.printf("%s %d\n", n, s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				n = p.claim("go_heap_objects_bytes")
+				p.header(n, "Bytes of memory occupied by live heap objects.", "gauge")
+				p.printf("%s %d\n", n, s.Value.Uint64())
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				n = p.claim("go_gc_cycles_total")
+				p.header(n, "Completed GC cycles.", "counter")
+				p.printf("%s %d\n", n, s.Value.Uint64())
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				writeRuntimeHistogram(p, "go_gc_pauses_seconds",
+					"Distribution of GC stop-the-world pause latencies.", s.Value.Float64Histogram())
+			}
+		}
+	}
+	return p.err
+}
+
+// writeRuntimeHistogram converts a runtime/metrics Float64Histogram
+// (bucket boundaries, possibly opening at -Inf and closing at +Inf)
+// into cumulative le buckets. The runtime does not track an exact sum,
+// so _sum is estimated from bucket midpoints — documented in the HELP
+// line so nobody trusts it past its precision.
+func writeRuntimeHistogram(p *promWriter, name, help string, h *metrics.Float64Histogram) {
+	if len(h.Buckets) != len(h.Counts)+1 {
+		return
+	}
+	name = p.claim(name)
+	p.header(name, help+" The sum is estimated from bucket midpoints.", "histogram")
+	var cum, total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	var sum float64
+	for i, c := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		cum += c
+		if math.IsInf(lo, 0) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			// The closing +Inf boundary collapses into the mandatory
+			// +Inf bucket below.
+			if !math.IsInf(lo, 0) {
+				sum += float64(c) * lo
+			}
+			continue
+		}
+		if !math.IsInf(lo, 0) && !math.IsInf(hi, 0) {
+			sum += float64(c) * (lo + hi) / 2
+		}
+		p.printf("%s_bucket{le=\"%s\"} %d\n", name, promFloat(hi), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	p.printf("%s_sum %s\n", name, promFloat(sum))
+	p.printf("%s_count %d\n", name, total)
+}
+
+// acceptsJSONOnly reports whether the request explicitly negotiates the
+// JSON snapshot instead of the text exposition (scrapers send
+// text/plain or */*; the JSON debug view asks for application/json).
+func acceptsJSONOnly(accept string) bool {
+	return strings.Contains(accept, "application/json") &&
+		!strings.Contains(accept, "text/plain") &&
+		!strings.Contains(accept, "*/*")
+}
+
+// PromHandler serves reg at GET /metrics: Prometheus text exposition
+// 0.0.4 (registry instruments plus the ambient process/runtime
+// collectors) by default, or the legacy JSON snapshot when the request
+// Accept header asks for application/json exclusively.
+func PromHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if acceptsJSONOnly(r.Header.Get("Accept")) {
+			reg.Handler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		if err := WritePrometheus(w, reg, DefaultPromPrefix); err != nil {
+			return
+		}
+		_ = WriteProcessMetrics(w)
+	})
+}

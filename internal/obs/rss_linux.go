@@ -1,0 +1,28 @@
+//go:build linux
+
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// residentBytes reads the process's current resident set size from
+// /proc/self/statm (second field, in pages). 0 on any failure — the
+// exposition simply omits the metric then.
+func residentBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := bytes.Fields(data)
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil || pages < 0 {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// residentBytes is unavailable off Linux; the exposition omits the
+// process_resident_memory_bytes metric.
+func residentBytes() int64 { return 0 }

@@ -41,6 +41,9 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 }
 
 func newSpan(name string) *Span {
+	if defaultBus.Active() {
+		defaultBus.Publish("span.start", "stage", name)
+	}
 	return &Span{name: name, start: time.Now(), cpu0: processCPU()}
 }
 
@@ -71,6 +74,10 @@ func (s *Span) End() {
 	wall := s.end.Sub(s.start)
 	items := s.items
 	s.mu.Unlock()
+	if defaultBus.Active() {
+		defaultBus.Publish("span.end",
+			"stage", s.name, "wall_ms", wall.Milliseconds(), "items", items)
+	}
 	slog.Debug("stage done", "stage", s.name, "wall", wall.Round(time.Microsecond), "items", items)
 }
 

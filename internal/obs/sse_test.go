@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseClient reads one SSE stream line by line until the deadline,
+// feeding complete "id/event/data" messages to got.
+type sseMsg struct {
+	ID   string
+	Kind string
+	Data string
+}
+
+// readSSE consumes messages and comment lines from r until limit
+// messages arrived or the stream ends.
+func readSSE(t *testing.T, resp *http.Response, limit int, wantComment string) ([]sseMsg, bool) {
+	t.Helper()
+	var msgs []sseMsg
+	var cur sseMsg
+	sawComment := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.Kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			if wantComment != "" && strings.Contains(line, wantComment) {
+				sawComment = true
+				if len(msgs) >= limit {
+					return msgs, sawComment
+				}
+			}
+		case line == "":
+			if cur.Data != "" {
+				msgs = append(msgs, cur)
+				cur = sseMsg{}
+				if len(msgs) >= limit && (wantComment == "" || sawComment) {
+					return msgs, sawComment
+				}
+			}
+		}
+	}
+	return msgs, sawComment
+}
+
+func sseGet(t *testing.T, url, lastID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return resp
+}
+
+func TestSSEStreamDeliversLiveEvents(t *testing.T) {
+	bus := NewEventBus(32)
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewSSEHandler(bus, WithSSERegistry(reg)))
+	defer srv.Close()
+
+	resp := sseGet(t, srv.URL, "")
+	defer resp.Body.Close()
+
+	// Wait for the subscription before publishing, then publish live.
+	waitForStreams(t, reg, 1)
+	bus.Publish("swap", "generation", "abc")
+	bus.Publish("reload", "status", "ok")
+
+	msgs, _ := readSSE(t, resp, 2, "")
+	if len(msgs) != 2 || msgs[0].Kind != "swap" || msgs[1].Kind != "reload" {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(msgs[0].Data), &ev); err != nil {
+		t.Fatalf("data not JSON: %v", err)
+	}
+	if ev.Seq != 1 || ev.Data["generation"] != "abc" {
+		t.Fatalf("decoded event = %+v", ev)
+	}
+	if msgs[0].ID != "1" || msgs[1].ID != "2" {
+		t.Fatalf("SSE ids = %q, %q", msgs[0].ID, msgs[1].ID)
+	}
+}
+
+func TestSSEReplayFromLastEventID(t *testing.T) {
+	bus := NewEventBus(32)
+	for i := 0; i < 5; i++ {
+		bus.Publish("pre", "i", i)
+	}
+	srv := httptest.NewServer(NewSSEHandler(bus))
+	defer srv.Close()
+
+	resp := sseGet(t, srv.URL, "2")
+	defer resp.Body.Close()
+	msgs, _ := readSSE(t, resp, 3, "")
+	if len(msgs) != 3 {
+		t.Fatalf("replayed %d messages, want 3 (seqs 3..5)", len(msgs))
+	}
+	if msgs[0].ID != "3" || msgs[2].ID != "5" {
+		t.Fatalf("replay ids = %q..%q, want 3..5", msgs[0].ID, msgs[2].ID)
+	}
+}
+
+func TestSSEReplayQueryParam(t *testing.T) {
+	bus := NewEventBus(8)
+	bus.Publish("one")
+	bus.Publish("two")
+	srv := httptest.NewServer(NewSSEHandler(bus))
+	defer srv.Close()
+
+	resp := sseGet(t, srv.URL+"?last_event_id=1", "")
+	defer resp.Body.Close()
+	msgs, _ := readSSE(t, resp, 1, "")
+	if len(msgs) != 1 || msgs[0].Kind != "two" {
+		t.Fatalf("messages = %+v", msgs)
+	}
+}
+
+func TestSSEHeartbeat(t *testing.T) {
+	bus := NewEventBus(8)
+	srv := httptest.NewServer(NewSSEHandler(bus, WithSSEHeartbeat(10*time.Millisecond)))
+	defer srv.Close()
+
+	resp := sseGet(t, srv.URL, "")
+	defer resp.Body.Close()
+	_, saw := readSSE(t, resp, 0, "heartbeat")
+	if !saw {
+		t.Fatal("no heartbeat comment observed")
+	}
+}
+
+func TestSSEStopClosesStream(t *testing.T) {
+	bus := NewEventBus(8)
+	stop := make(chan struct{})
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewSSEHandler(bus,
+		WithSSEStop(stop), WithSSERegistry(reg)))
+	defer srv.Close()
+
+	resp := sseGet(t, srv.URL, "")
+	defer resp.Body.Close()
+	waitForStreams(t, reg, 1)
+	close(stop)
+
+	done := make(chan struct{})
+	go func() {
+		// The body must reach EOF promptly once the server drains.
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not close on stop")
+	}
+	waitForStreams(t, reg, 0)
+}
+
+// waitForStreams polls the events.streams gauge until it reaches want.
+func waitForStreams(t *testing.T, reg *Registry, want int64) {
+	t.Helper()
+	g := reg.Gauge("events.streams")
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Value() != want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Value() != want {
+		t.Fatalf("events.streams = %d, want %d", g.Value(), want)
+	}
+}
