@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race chaos metrics-verify bench bench-compare fuzz-snap
+.PHONY: check vet fmt lint build test race chaos metrics-verify bench bench-compare fuzz-snap profile
 
 check: vet fmt lint build race metrics-verify
 
@@ -57,10 +57,12 @@ metrics-verify:
 	$(GO) test -race -run 'MetricsVerify' -v .
 
 # Measurement-engine benchmarks: sweep throughput serial vs parallel,
-# plus the lookup index and ECDF machinery under it. Teed into
-# BENCH_core.json, the committed baseline bench-compare gates against.
+# the lookup index and ECDF machinery under it, and the server's
+# /v2/lookup hot path (whose zero-alloc steady state the alloc gate
+# protects). Teed into BENCH_core.json, the committed baseline
+# bench-compare gates against.
 BENCH_PATTERN = Coverage|Accuracy|Consistency|Lookup|ECDF
-BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/...
+BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/... ./internal/geodb/httpapi/
 
 # Snapshot benchmarks: write/decode/open throughput and lookup latency
 # heap vs memory-mapped. Teed into BENCH_snap.json, the committed
@@ -81,16 +83,38 @@ bench:
 	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.json
 
 # bench-compare re-runs the engine benchmarks and fails on any ns/op
-# regression past the threshold against the committed baseline.
+# regression past the threshold against the committed baseline. The
+# core set also arms the memory gate: allocs/op or B/op growing past
+# the alloc threshold — or a zero-alloc benchmark (the /v2/lookup hot
+# path) starting to allocate at all — fails the gate. The alloc ratio
+# is deliberately a gross-leak backstop, not a tight bound: pool
+# recycling makes the worker-variant B/op spiky (a GC-emptied
+# sync.Pool re-allocates a 32 KB scratch once in a hundred iterations,
+# a ~6x blip on a 1.5 KB/op benchmark), and the guarantee that
+# matters — the /v2/lookup zero-alloc steady state — fires at any
+# threshold. CI's smoke run loosens the time and ns knobs further for
+# shared-runner noise (see ci.yml).
+BENCH_TIME ?= 1s
+NS_THRESHOLD ?= 1.30
+ALLOC_THRESHOLD ?= 10.0
+
 bench-compare:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.new.json
-	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold 1.30
-	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.new.json
-	$(GO) run ./cmd/benchcompare -old BENCH_snap.json -new BENCH_snap.new.json -threshold 1.30
-	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.new.json
-	$(GO) run ./cmd/benchcompare -old BENCH_obs.json -new BENCH_obs.new.json -threshold 1.30
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold $(NS_THRESHOLD) -alloc-threshold $(ALLOC_THRESHOLD)
+	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_snap.json -new BENCH_snap.new.json -threshold $(NS_THRESHOLD)
+	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.new.json
+	$(GO) run ./cmd/benchcompare -old BENCH_obs.json -new BENCH_obs.new.json -threshold $(NS_THRESHOLD)
 
 # 10-second snapshot decoder fuzz smoke — the same job CI runs. The
 # corpus seeds live in the package; findings land in testdata/fuzz.
 fuzz-snap:
 	$(GO) test -run ^$$ -fuzz FuzzDecode -fuzztime 10s ./internal/geodb/snapshot/
+
+# profile captures pprof profiles of a real sweep — the §4/§5.1
+# consistency passes and the §5.2.1 accuracy sweep, the three loops the
+# parallel engine carries — rather than a microbenchmark: CPU over the
+# whole run, heap at exit. Inspect with `go tool pprof cpu.pprof`
+# (`top`, `list`, `web`).
+profile:
+	$(GO) run ./cmd/routergeo -run sec4,sec51,sec521 -cpuprofile cpu.pprof -memprofile mem.pprof

@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	benchcompare -old BENCH_core.json -new BENCH_core.new.json [-threshold 1.30]
+//	benchcompare -old BENCH_core.json -new BENCH_core.new.json [-threshold 1.30] [-alloc-threshold 1.10]
 //
 // Benchmarks are matched by name with the -GOMAXPROCS suffix stripped,
 // so runs from machines with different core counts still compare. A
 // ratio (new ns/op ÷ old ns/op) above the threshold is a regression;
 // benchmarks present in only one file are reported but never fail the
 // gate, since adding or retiring a benchmark is not a slowdown.
+//
+// -alloc-threshold arms a second gate over the -benchmem metrics: when
+// a benchmark carries B/op and allocs/op in both files, a ratio past
+// the threshold — or a previously allocation-free benchmark starting
+// to allocate — is a regression. Memory stats present in only one
+// file are noted but never gate, mirroring the benchmark-set rule.
 //
 // Malformed inputs fail loudly instead of silently passing the gate: a
 // Benchmark line without a parseable ns/op value, two results mapping
@@ -110,7 +116,15 @@ func parseFile(path string) (map[string]result, error) {
 // compare prints the old/new table to w and returns the regressions
 // past threshold. Benchmarks present in only one input are reported in
 // the table ("gone" / added count) but are never regressions.
-func compare(oldR, newR map[string]result, threshold float64, w io.Writer) []string {
+//
+// allocThreshold > 0 additionally gates allocs/op and B/op for
+// benchmarks carrying memory stats on both sides: a ratio past the
+// threshold regresses, and a benchmark that was allocation-free going
+// to any allocations at all regresses regardless of ratio (a ratio
+// over zero is undefined, and losing a zero-alloc guarantee is exactly
+// what the gate exists to catch). Memory stats present on only one
+// side are reported but never gate, like benchmarks themselves.
+func compare(oldR, newR map[string]result, threshold, allocThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(oldR))
 	for name := range oldR {
 		names = append(names, name)
@@ -137,8 +151,20 @@ func compare(oldR, newR map[string]result, threshold float64, w io.Writer) []str
 				name, o.nsPerOp, n.nsPerOp, ratio, threshold))
 		}
 		fmt.Fprintf(w, "%-60s %14.1f %14.1f %7.2fx%s\n", name, o.nsPerOp, n.nsPerOp, ratio, mark)
-		if o.hasMem && n.hasMem && n.allocsPerOp > o.allocsPerOp {
-			fmt.Fprintf(w, "%-60s %14s allocs/op %.0f -> %.0f\n", "  ^ note:", "", o.allocsPerOp, n.allocsPerOp)
+		switch {
+		case o.hasMem && n.hasMem:
+			if n.allocsPerOp > o.allocsPerOp {
+				fmt.Fprintf(w, "%-60s %14s allocs/op %.0f -> %.0f\n", "  ^ note:", "", o.allocsPerOp, n.allocsPerOp)
+			}
+			if allocThreshold > 0 {
+				regressions = append(regressions, memRegressions(name, o, n, allocThreshold)...)
+			}
+		case o.hasMem != n.hasMem && allocThreshold > 0:
+			side := "old"
+			if n.hasMem {
+				side = "new"
+			}
+			fmt.Fprintf(w, "%-60s %14s memory stats only in the %s run\n", "  ^ note:", "", side)
 		}
 	}
 	added := 0
@@ -153,11 +179,30 @@ func compare(oldR, newR map[string]result, threshold float64, w io.Writer) []str
 	return regressions
 }
 
+// memRegressions gates allocs/op and B/op for one benchmark whose old
+// and new results both carry memory stats.
+func memRegressions(name string, o, n result, allocThreshold float64) []string {
+	var out []string
+	gate := func(metric string, ov, nv float64) {
+		switch {
+		case ov == 0 && nv > 0:
+			out = append(out, fmt.Sprintf("%s: %s 0 -> %.0f (was allocation-free)", name, metric, nv))
+		case ov > 0 && nv/ov > allocThreshold:
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f %s (%.2fx > %.2fx)",
+				name, ov, nv, metric, nv/ov, allocThreshold))
+		}
+	}
+	gate("allocs/op", o.allocsPerOp, n.allocsPerOp)
+	gate("B/op", o.bytesPerOp, n.bytesPerOp)
+	return out
+}
+
 func main() {
 	var (
 		oldPath   = flag.String("old", "BENCH_core.json", "baseline bench output")
 		newPath   = flag.String("new", "", "fresh bench output to compare")
 		threshold = flag.Float64("threshold", 1.30, "fail when new/old ns/op exceeds this ratio")
+		allocThr  = flag.Float64("alloc-threshold", 0, "also fail when new/old allocs/op or B/op exceeds this ratio, or a zero-alloc benchmark starts allocating (0 disables the memory gate)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -175,7 +220,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressions := compare(oldR, newR, *threshold, os.Stdout)
+	regressions := compare(oldR, newR, *threshold, *allocThr, os.Stdout)
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchcompare: %d regression(s) past %.2fx:\n", len(regressions), *threshold)
 		for _, r := range regressions {

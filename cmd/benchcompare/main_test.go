@@ -83,7 +83,7 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	regs := compare(oldR, newR, 1.30, &out)
+	regs := compare(oldR, newR, 1.30, 0, &out)
 
 	// Accuracy went 200 -> 900 (4.5x): regression. Coverage went
 	// 100 -> 120 (1.2x): under threshold. Retired/BrandNew exist on one
@@ -106,7 +106,59 @@ func TestCompareHandlesDisjointSets(t *testing.T) {
 	oldR := map[string]result{"BenchmarkOnlyOld": {nsPerOp: 10}}
 	newR := map[string]result{"BenchmarkOnlyNew": {nsPerOp: 10}}
 	var out strings.Builder
-	if regs := compare(oldR, newR, 1.30, &out); len(regs) != 0 {
+	if regs := compare(oldR, newR, 1.30, 1.10, &out); len(regs) != 0 {
 		t.Fatalf("disjoint benchmark sets must not regress the gate: %v", regs)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	oldR := map[string]result{
+		"BenchmarkAllocs":   {nsPerOp: 100, bytesPerOp: 100, allocsPerOp: 10, hasMem: true},
+		"BenchmarkBytes":    {nsPerOp: 100, bytesPerOp: 100, allocsPerOp: 10, hasMem: true},
+		"BenchmarkZero":     {nsPerOp: 100, bytesPerOp: 0, allocsPerOp: 0, hasMem: true},
+		"BenchmarkSteady":   {nsPerOp: 100, bytesPerOp: 64, allocsPerOp: 4, hasMem: true},
+		"BenchmarkOneSided": {nsPerOp: 100, bytesPerOp: 999, allocsPerOp: 99, hasMem: true},
+	}
+	newR := map[string]result{
+		"BenchmarkAllocs":   {nsPerOp: 100, bytesPerOp: 100, allocsPerOp: 20, hasMem: true},
+		"BenchmarkBytes":    {nsPerOp: 100, bytesPerOp: 300, allocsPerOp: 10, hasMem: true},
+		"BenchmarkZero":     {nsPerOp: 100, bytesPerOp: 16, allocsPerOp: 1, hasMem: true},
+		"BenchmarkSteady":   {nsPerOp: 100, bytesPerOp: 68, allocsPerOp: 4, hasMem: true},
+		"BenchmarkOneSided": {nsPerOp: 100},
+	}
+
+	// Memory gate off: nothing regresses no matter how the allocs move.
+	var off strings.Builder
+	if regs := compare(oldR, newR, 1.30, 0, &off); len(regs) != 0 {
+		t.Fatalf("with -alloc-threshold 0 the memory gate must stay off: %v", regs)
+	}
+
+	var out strings.Builder
+	regs := compare(oldR, newR, 1.30, 1.10, &out)
+	joined := strings.Join(regs, "\n")
+	// Allocs 10 -> 20 (2x) and bytes 100 -> 300 (3x) regress; the
+	// zero-alloc benchmark starting to allocate regresses on both
+	// metrics regardless of ratio; 64 -> 68 B/op (1.06x) passes; the
+	// benchmark that lost its memory stats is noted, never gated.
+	for _, frag := range []string{
+		"BenchmarkAllocs: 10 -> 20 allocs/op",
+		"BenchmarkBytes: 100 -> 300 B/op",
+		"BenchmarkZero: allocs/op 0 -> 1 (was allocation-free)",
+		"BenchmarkZero: B/op 0 -> 16 (was allocation-free)",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("regressions missing %q:\n%s", frag, joined)
+		}
+	}
+	if len(regs) != 4 {
+		t.Errorf("got %d regressions, want 4:\n%s", len(regs), joined)
+	}
+	for _, name := range []string{"BenchmarkSteady", "BenchmarkOneSided"} {
+		if strings.Contains(joined, name) {
+			t.Errorf("%s must not regress:\n%s", name, joined)
+		}
+	}
+	if !strings.Contains(out.String(), "memory stats only in the old run") {
+		t.Errorf("report should note the one-sided memory stats:\n%s", out.String())
 	}
 }

@@ -20,6 +20,10 @@
 // instance instead of in-process databases; outage bookkeeping
 // (degraded/tainted lookups, breaker opens) is recorded in the
 // manifest's taint section. See remoteAccuracy.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU over
+// the whole run, heap at exit), so `make profile` captures a real sweep
+// rather than a microbenchmark. Inspect with `go tool pprof`.
 package main
 
 import (
@@ -55,6 +59,8 @@ func main() {
 		remote    = flag.String("remote", "", "instead of experiments, score the accuracy sweep through a geoserve instance at this base URL")
 		remoteFB  = flag.Bool("remote-fallback", true, "with -remote, degrade to the locally built databases when the server cannot answer (false: misses are tainted instead)")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener serving pprof, /metrics and the /v2/events stream")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	lf := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,6 +70,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "routergeo:", err)
 		os.Exit(2)
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routergeo:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -110,6 +122,7 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "routergeo:", err)
 		writeManifest()
+		stopProfiles() // os.Exit skips the deferred stop
 		os.Exit(1)
 	}
 
@@ -188,6 +201,7 @@ func main() {
 		e, ok := experiments.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "routergeo: unknown experiment %q (use -list)\n", id)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles arms the -cpuprofile and -memprofile flags. The
+// returned stop function is idempotent and must run before every
+// process exit — main exits through os.Exit on several paths, which
+// skips defers — stopping the CPU profile and writing the heap profile
+// so even a failed sweep leaves usable pprof files behind.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			_ = cpuF.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "routergeo: cpu profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote cpu profile to %s\n", cpu)
+			}
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo: heap profile:", err)
+			return
+		}
+		// An up-to-date profile needs a full GC so recently freed memory
+		// does not show as live.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo: heap profile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "routergeo: heap profile:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", mem)
+		}
+	}, nil
+}

@@ -43,8 +43,18 @@ func benchInputs(b *testing.B) {
 	})
 }
 
-// benchModes runs fn once per engine mode with parallelism pinned.
-func benchModes(b *testing.B, fn func(b *testing.B)) {
+// benchModes runs one sweep per iteration under every engine mode with
+// parallelism pinned: serial (the oracle path), parallel (GOMAXPROCS —
+// the bench-compare baseline) and the workers=1/2/4/8 scaling sweep.
+// Every variant reports allocations and an items/s throughput metric
+// over the benchAddrs-sized input; a warm-up sweep before the timer
+// starts keeps allocs/op independent of the iteration count (the
+// engine's pools amortize their warm-up, so without it a short -benchtime
+// run would report inflated allocations and flake the CI alloc gate).
+// On a machine with fewer cores than a variant's worker count the extra
+// goroutines time-slice one CPU; the sweep then measures scheduling
+// overhead rather than speedup.
+func benchModes(b *testing.B, items int, sweep func()) {
 	benchInputs(b)
 	for _, mode := range []struct {
 		name    string
@@ -52,41 +62,44 @@ func benchModes(b *testing.B, fn func(b *testing.B)) {
 	}{
 		{"serial", 1},
 		{"parallel", 0}, // GOMAXPROCS
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+		{"workers=8", 8},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			SetParallelism(mode.workers)
 			defer SetParallelism(0)
+			sweep() // warm the pools under this mode's worker count
 			b.ReportAllocs()
 			b.ResetTimer()
-			fn(b)
+			for i := 0; i < b.N; i++ {
+				sweep()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
 		})
 	}
 }
 
 func BenchmarkCoverage(b *testing.B) {
-	benchModes(b, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			MeasureCoverage(context.Background(), benchDBA, benchAddrSet)
-		}
+	benchModes(b, benchAddrs, func() {
+		MeasureCoverage(context.Background(), benchDBA, benchAddrSet)
 	})
 }
 
 func BenchmarkAccuracy(b *testing.B) {
-	benchModes(b, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			MeasureAccuracy(context.Background(), benchDBA, benchTargets)
-		}
+	benchModes(b, benchAddrs, func() {
+		MeasureAccuracy(context.Background(), benchDBA, benchTargets)
 	})
 }
 
 // BenchmarkConsistency measures the pairwise sweeps behind §5.1 and
 // Figure 1: country agreement plus the city-distance comparison.
 func BenchmarkConsistency(b *testing.B) {
-	benchModes(b, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			CountryAgreement(context.Background(), benchDBA, benchDBB, benchAddrSet)
-			MeasurePairwiseCity(context.Background(), benchDBA, benchDBB, benchAddrSet)
-		}
+	benchModes(b, benchAddrs, func() {
+		CountryAgreement(context.Background(), benchDBA, benchDBB, benchAddrSet)
+		MeasurePairwiseCity(context.Background(), benchDBA, benchDBB, benchAddrSet)
 	})
 }
 
@@ -94,9 +107,7 @@ func BenchmarkConsistency(b *testing.B) {
 func BenchmarkConsistencyAllDBs(b *testing.B) {
 	benchInputs(b)
 	dbs := []geodb.Provider{benchDBA, benchDBB}
-	benchModes(b, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			CountryAgreementAll(context.Background(), dbs, benchAddrSet)
-		}
+	benchModes(b, benchAddrs, func() {
+		CountryAgreementAll(context.Background(), dbs, benchAddrSet)
 	})
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"routergeo/internal/geo"
 	"routergeo/internal/geodb"
 	"routergeo/internal/ipx"
 	"routergeo/internal/obs"
@@ -21,18 +22,25 @@ func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr
 	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.country_agreement "+a.Name()+"/"+b.Name(), int64(len(addrs)))
 	defer prog.Finish()
+	prefetch(ctx, a, addrs)
+	prefetch(ctx, b, addrs)
 	type partial struct{ agree, both int }
-	parts := make([]partial, workers)
-	runChunks(len(addrs), workers, func(ci, lo, hi int) {
-		chunk := addrs[lo:hi]
-		prefetch(ctx, a, chunk)
-		prefetch(ctx, b, chunk)
-		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
+	parts := make([]slot[partial], workers)
+	res := make([][]*resolver, workers)
+	dbs := []geodb.Provider{a, b}
+	runBlocks(len(addrs), workers, func(wi, _, lo, hi int) {
+		rs := res[wi]
+		if rs == nil {
+			rs = bindResolvers(dbs)
+			res[wi] = rs
+		}
+		block := addrs[lo:hi]
+		rs[0].resolve(block)
+		rs[1].resolve(block)
 		var p partial
-		for _, addr := range chunk {
-			ra, okA := la(addr)
-			rb, okB := lb(addr)
-			prog.Add(1)
+		for k := range block {
+			ra, okA := rs[0].rec(k)
+			rb, okB := rs[1].rec(k)
 			if !okA || !okB || !ra.HasCountry() || !rb.HasCountry() {
 				continue
 			}
@@ -41,11 +49,16 @@ func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr
 				p.agree++
 			}
 		}
-		parts[ci] = p
+		prog.Add(int64(len(block)))
+		parts[wi].v.agree += p.agree
+		parts[wi].v.both += p.both
 	})
-	for _, p := range parts {
-		agree += p.agree
-		both += p.both
+	for _, rs := range res {
+		putResolvers(rs)
+	}
+	for i := range parts {
+		agree += parts[i].v.agree
+		both += parts[i].v.both
 	}
 	return agree, both
 }
@@ -53,7 +66,7 @@ func CountryAgreement(ctx context.Context, a, b geodb.Provider, addrs []ipx.Addr
 // CountryAgreementAll counts addresses on which *every* database agrees at
 // country level (the paper's 95.8% over 1.64M addresses).
 func CountryAgreementAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Addr) (agree, total int) {
-	_, sp := obs.Start(ctx, "core.country_agreement_all")
+	ctx, sp := obs.Start(ctx, "core.country_agreement_all")
 	defer sp.End()
 	sp.SetAttr("dbs", len(dbs))
 	sp.SetItems(int64(len(addrs)))
@@ -61,19 +74,28 @@ func CountryAgreementAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.
 	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.country_agreement_all", int64(len(addrs)))
 	defer prog.Finish()
+	for _, db := range dbs {
+		prefetch(ctx, db, addrs)
+	}
 	total = len(addrs)
-	parts := make([]int, workers)
-	runChunks(len(addrs), workers, func(ci, lo, hi int) {
-		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
-		for i, db := range dbs {
-			lookups[i] = geodb.LookupFunc(db)
+	parts := make([]slot[int], workers)
+	res := make([][]*resolver, workers)
+	runBlocks(len(addrs), workers, func(wi, _, lo, hi int) {
+		rs := res[wi]
+		if rs == nil {
+			rs = bindResolvers(dbs)
+			res[wi] = rs
+		}
+		block := addrs[lo:hi]
+		for _, r := range rs {
+			r.resolve(block)
 		}
 		n := 0
-		for _, addr := range addrs[lo:hi] {
+		for k := range block {
 			country := ""
 			ok := true
-			for _, lookup := range lookups {
-				rec, found := lookup(addr)
+			for _, r := range rs {
+				rec, found := r.rec(k)
 				if !found || !rec.HasCountry() {
 					ok = false
 					break
@@ -85,15 +107,18 @@ func CountryAgreementAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.
 					break
 				}
 			}
-			prog.Add(1)
 			if ok {
 				n++
 			}
 		}
-		parts[ci] = n
+		prog.Add(int64(len(block)))
+		parts[wi].v += n
 	})
-	for _, n := range parts {
-		agree += n
+	for _, rs := range res {
+		putResolvers(rs)
+	}
+	for i := range parts {
+		agree += parts[i].v
 	}
 	return agree, total
 }
@@ -121,17 +146,29 @@ func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.A
 	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.pairwise_city "+a.Name()+"/"+b.Name(), int64(len(addrs)))
 	defer prog.Finish()
-	parts := make([]PairwiseCity, workers)
-	runChunks(len(addrs), workers, func(ci, lo, hi int) {
-		chunk := addrs[lo:hi]
-		prefetch(ctx, a, chunk)
-		prefetch(ctx, b, chunk)
-		la, lb := geodb.LookupFunc(a), geodb.LookupFunc(b)
-		p := PairwiseCity{CDF: &stats.ECDF{}}
-		for _, addr := range chunk {
-			ra, okA := la(addr)
-			rb, okB := lb(addr)
-			prog.Add(1)
+	prefetch(ctx, a, addrs)
+	prefetch(ctx, b, addrs)
+	parts := make([]slot[PairwiseCity], workers)
+	res := make([][]*resolver, workers)
+	bufs := make([]*[]float64, workers)
+	dbs := []geodb.Provider{a, b}
+	runBlocks(len(addrs), workers, func(wi, _, lo, hi int) {
+		rs := res[wi]
+		if rs == nil {
+			rs = bindResolvers(dbs)
+			res[wi] = rs
+			sb := samplePool.Get().(*[]float64)
+			*sb = (*sb)[:0]
+			bufs[wi] = sb
+		}
+		block := addrs[lo:hi]
+		rs[0].resolve(block)
+		rs[1].resolve(block)
+		var p PairwiseCity
+		s := *bufs[wi]
+		for k := range block {
+			ra, okA := rs[0].rec(k)
+			rb, okB := rs[1].rec(k)
 			if !okA || !okB || !ra.HasCity() || !rb.HasCity() {
 				continue
 			}
@@ -140,23 +177,28 @@ func MeasurePairwiseCity(ctx context.Context, a, b geodb.Provider, addrs []ipx.A
 				p.Identical++
 				continue
 			}
-			d := ra.Coord.DistanceKm(rb.Coord)
-			p.CDF.Add(d)
+			d := geo.ArcKm(rs[0].vec(k, ra), rs[1].vec(k, rb))
+			s = append(s, d)
 			if d > CityRangeKm {
 				p.Over40Km++
 			}
 		}
-		parts[ci] = p
+		*bufs[wi] = s
+		prog.Add(int64(len(block)))
+		parts[wi].v.Both += p.Both
+		parts[wi].v.Identical += p.Identical
+		parts[wi].v.Over40Km += p.Over40Km
 	})
-	var out PairwiseCity
-	cdfs := make([]*stats.ECDF, len(parts))
-	for i, p := range parts {
-		out.Both += p.Both
-		out.Identical += p.Identical
-		out.Over40Km += p.Over40Km
-		cdfs[i] = p.CDF
+	for _, rs := range res {
+		putResolvers(rs)
 	}
-	out.CDF = stats.Merge(cdfs...)
+	var out PairwiseCity
+	for i := range parts {
+		out.Both += parts[i].v.Both
+		out.Identical += parts[i].v.Identical
+		out.Over40Km += parts[i].v.Over40Km
+	}
+	out.CDF = stats.FromSamples(mergeSamples(bufs))
 	return out
 }
 
@@ -169,10 +211,10 @@ func (p PairwiseCity) DisagreeOver40Pct() float64 {
 
 // CityAnsweredInAll filters addrs to those with city-level coordinates in
 // every database — the ~692K-address subset Figure 1 is computed over.
-// Per-chunk survivor lists concatenate in chunk order, so the output
+// Per-block survivor lists concatenate in block order, so the output
 // preserves input order exactly as the serial loop does.
 func CityAnsweredInAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Addr) []ipx.Addr {
-	_, sp := obs.Start(ctx, "core.city_answered_in_all")
+	ctx, sp := obs.Start(ctx, "core.city_answered_in_all")
 	defer sp.End()
 	sp.SetAttr("dbs", len(dbs))
 	sp.SetItems(int64(len(addrs)))
@@ -180,30 +222,42 @@ func CityAnsweredInAll(ctx context.Context, dbs []geodb.Provider, addrs []ipx.Ad
 	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.city_answered_in_all", int64(len(addrs)))
 	defer prog.Finish()
-	parts := make([][]ipx.Addr, workers)
-	runChunks(len(addrs), workers, func(ci, lo, hi int) {
-		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
-		for i, db := range dbs {
-			lookups[i] = geodb.LookupFunc(db)
+	for _, db := range dbs {
+		prefetch(ctx, db, addrs)
+	}
+	parts := make([][]ipx.Addr, numBlocks(len(addrs)))
+	res := make([][]*resolver, workers)
+	runBlocks(len(addrs), workers, func(wi, bi, lo, hi int) {
+		rs := res[wi]
+		if rs == nil {
+			rs = bindResolvers(dbs)
+			res[wi] = rs
+		}
+		block := addrs[lo:hi]
+		for _, r := range rs {
+			r.resolve(block)
 		}
 		var keep []ipx.Addr
-		for _, addr := range addrs[lo:hi] {
+		for k := range block {
 			all := true
-			for _, lookup := range lookups {
-				rec, ok := lookup(addr)
+			for _, r := range rs {
+				rec, ok := r.rec(k)
 				if !ok || !rec.HasCity() {
 					all = false
 					break
 				}
 			}
-			prog.Add(1)
 			if all {
-				keep = append(keep, addr)
+				keep = append(keep, block[k])
 			}
 		}
-		parts[ci] = keep
+		prog.Add(int64(len(block)))
+		parts[bi] = keep
 	})
-	if workers == 1 {
+	for _, rs := range res {
+		putResolvers(rs)
+	}
+	if len(parts) == 1 {
 		return parts[0]
 	}
 	n := 0

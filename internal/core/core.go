@@ -38,11 +38,16 @@ const CityRangeKm = 40.0
 
 // Target is one ground-truth address to score against.
 type Target struct {
-	Addr    ipx.Addr
-	Truth   geo.Coordinate
-	Country string // ISO2 of the true location
-	RIR     geo.RIR
-	Method  groundtruth.Method
+	Addr  ipx.Addr
+	Truth geo.Coordinate
+	// TruthVec caches Truth's unit-sphere vector for the accuracy
+	// sweep's distance kernel (geo.ArcKm). TargetsFromDataset fills it;
+	// the zero value means "not cached" and the sweep computes it on
+	// the fly, so hand-built targets score identically.
+	TruthVec geo.Vec3
+	Country  string // ISO2 of the true location
+	RIR      geo.RIR
+	Method   groundtruth.Method
 }
 
 // TargetsFromDataset converts a ground-truth dataset into evaluation
@@ -52,11 +57,12 @@ func TargetsFromDataset(w *netsim.World, ds *groundtruth.Dataset) []Target {
 	out := make([]Target, 0, ds.Len())
 	for _, e := range ds.Entries {
 		out = append(out, Target{
-			Addr:    e.Addr,
-			Truth:   e.Coord,
-			Country: e.Country,
-			RIR:     w.Reg.RIROf(e.Addr),
-			Method:  e.Method,
+			Addr:     e.Addr,
+			Truth:    e.Coord,
+			TruthVec: e.Coord.Vec(),
+			Country:  e.Country,
+			RIR:      w.Reg.RIROf(e.Addr),
+			Method:   e.Method,
 		})
 	}
 	return out
@@ -116,36 +122,46 @@ func MeasureCoverage(ctx context.Context, db geodb.Provider, addrs []ipx.Addr) C
 	sp.SetAttr("workers", workers)
 	prog := obs.NewProgress("core.coverage "+db.Name(), int64(len(addrs)))
 	defer prog.Finish()
-	parts := make([]Coverage, workers)
-	runChunks(len(addrs), workers, func(ci, lo, hi int) {
-		chunk := addrs[lo:hi]
-		prefetch(ctx, db, chunk)
-		parts[ci] = coverageChunk(geodb.LookupFunc(db), chunk, prog)
+	// One up-front prefetch for the whole sweep: a remote provider
+	// pipelines the full batch through its own worker pool instead of
+	// being serialized by per-chunk calls inside the workers.
+	prefetch(ctx, db, addrs)
+	parts := make([]slot[Coverage], workers)
+	res := make([]*resolver, workers)
+	runBlocks(len(addrs), workers, func(wi, _, lo, hi int) {
+		r := res[wi]
+		if r == nil {
+			r = resolverPool.Get().(*resolver)
+			r.bind(db)
+			res[wi] = r
+		}
+		block := addrs[lo:hi]
+		r.resolve(block)
+		c := Coverage{Total: len(block)}
+		for k := range block {
+			rec, ok := r.rec(k)
+			if !ok {
+				continue
+			}
+			if rec.HasCountry() {
+				c.Country++
+			}
+			if rec.HasCity() {
+				c.City++
+			}
+		}
+		prog.Add(int64(len(block)))
+		p := &parts[wi].v
+		p.Total += c.Total
+		p.Country += c.Country
+		p.City += c.City
 	})
+	putResolvers(res)
 	var c Coverage
-	for _, p := range parts {
-		c.Total += p.Total
-		c.Country += p.Country
-		c.City += p.City
-	}
-	return c
-}
-
-// coverageChunk is the serial scoring loop over one chunk.
-func coverageChunk(lookup func(ipx.Addr) (geodb.Record, bool), addrs []ipx.Addr, prog *obs.Progress) Coverage {
-	c := Coverage{Total: len(addrs)}
-	for _, a := range addrs {
-		rec, ok := lookup(a)
-		prog.Add(1)
-		if !ok {
-			continue
-		}
-		if rec.HasCountry() {
-			c.Country++
-		}
-		if rec.HasCity() {
-			c.City++
-		}
+	for i := range parts {
+		c.Total += parts[i].v.Total
+		c.Country += parts[i].v.Country
+		c.City += parts[i].v.City
 	}
 	return c
 }
@@ -175,8 +191,9 @@ func (a Accuracy) CityCoverage() float64 { return stats.Fraction(a.CityAnswered,
 func (a Accuracy) CityAccuracy() float64 { return stats.Fraction(a.Within40Km, a.CityAnswered) }
 
 // MeasureAccuracy scores db on every target. Large inputs fan out over
-// the parallel engine, each worker filling a private partial whose raw
-// error samples are k-way merged back in chunk order.
+// the parallel engine, each worker appending raw error samples into a
+// pooled buffer; the buffers concatenate into the result CDF, whose
+// sorted points are identical whatever the accumulation order.
 func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) Accuracy {
 	ctx, sp := obs.Start(ctx, "core.accuracy")
 	defer sp.End()
@@ -184,56 +201,69 @@ func MeasureAccuracy(ctx context.Context, db geodb.Provider, targets []Target) A
 	sp.SetItems(int64(len(targets)))
 	workers := workersFor(len(targets))
 	sp.SetAttr("workers", workers)
-	parts := make([]Accuracy, workers)
-	runChunks(len(targets), workers, func(ci, lo, hi int) {
-		chunk := targets[lo:hi]
-		prefetchTargets(ctx, db, chunk)
-		parts[ci] = accuracyChunk(geodb.LookupFunc(db), chunk)
+	prefetchTargets(ctx, db, targets)
+	parts := make([]slot[Accuracy], workers)
+	res := make([]*resolver, workers)
+	bufs := make([]*[]float64, workers)
+	runBlocks(len(targets), workers, func(wi, _, lo, hi int) {
+		r := res[wi]
+		if r == nil {
+			r = resolverPool.Get().(*resolver)
+			r.bind(db)
+			res[wi] = r
+			sb := samplePool.Get().(*[]float64)
+			*sb = (*sb)[:0]
+			bufs[wi] = sb
+		}
+		block := targets[lo:hi]
+		r.resolveTargets(block)
+		var acc Accuracy
+		acc.Total = len(block)
+		s := *bufs[wi]
+		for k := range block {
+			t := &block[k]
+			rec, ok := r.rec(k)
+			if !ok {
+				continue
+			}
+			if rec.HasCountry() {
+				acc.CountryAnswered++
+				if rec.Country == t.Country {
+					acc.CountryCorrect++
+				}
+			}
+			if rec.HasCity() {
+				acc.CityAnswered++
+				tv := t.TruthVec
+				if tv.IsZero() {
+					tv = t.Truth.Vec()
+				}
+				d := geo.ArcKm(r.vec(k, rec), tv)
+				s = append(s, d)
+				if d <= CityRangeKm {
+					acc.Within40Km++
+				}
+			}
+		}
+		*bufs[wi] = s
+		p := &parts[wi].v
+		p.Total += acc.Total
+		p.CountryAnswered += acc.CountryAnswered
+		p.CountryCorrect += acc.CountryCorrect
+		p.CityAnswered += acc.CityAnswered
+		p.Within40Km += acc.Within40Km
 	})
-	return mergeAccuracy(parts)
-}
-
-// accuracyChunk is the serial scoring loop over one chunk.
-func accuracyChunk(lookup func(ipx.Addr) (geodb.Record, bool), targets []Target) Accuracy {
-	acc := Accuracy{Total: len(targets), ErrorCDF: &stats.ECDF{}}
-	for _, t := range targets {
-		rec, ok := lookup(t.Addr)
-		if !ok {
-			continue
-		}
-		if rec.HasCountry() {
-			acc.CountryAnswered++
-			if rec.Country == t.Country {
-				acc.CountryCorrect++
-			}
-		}
-		if rec.HasCity() {
-			acc.CityAnswered++
-			d := rec.Coord.DistanceKm(t.Truth)
-			acc.ErrorCDF.Add(d)
-			if d <= CityRangeKm {
-				acc.Within40Km++
-			}
-		}
-	}
-	return acc
-}
-
-// mergeAccuracy folds per-worker partials, in chunk order, into one
-// Accuracy. Counter sums are order-free; the per-worker CDFs are merged
-// without re-sorting.
-func mergeAccuracy(parts []Accuracy) Accuracy {
+	putResolvers(res)
 	var out Accuracy
-	cdfs := make([]*stats.ECDF, len(parts))
-	for i, p := range parts {
+	for i := range parts {
+		p := &parts[i].v
 		out.Total += p.Total
 		out.CountryAnswered += p.CountryAnswered
 		out.CountryCorrect += p.CountryCorrect
 		out.CityAnswered += p.CityAnswered
 		out.Within40Km += p.Within40Km
-		cdfs[i] = p.ErrorCDF
 	}
-	out.ErrorCDF = stats.Merge(cdfs...)
+	out.ErrorCDF = stats.FromSamples(mergeSamples(bufs))
 	return out
 }
 
@@ -335,18 +365,26 @@ func SharedIncorrect(dbs []geodb.Provider, targets []Target) (shared int, wrongP
 		shared int
 		wrong  []int
 	}
-	parts := make([]partial, workers)
-	runChunks(len(targets), workers, func(ci, lo, hi int) {
-		p := partial{wrong: make([]int, len(dbs))}
-		lookups := make([]func(ipx.Addr) (geodb.Record, bool), len(dbs))
-		for i, db := range dbs {
-			lookups[i] = geodb.LookupFunc(db)
+	parts := make([]slot[partial], workers)
+	res := make([][]*resolver, workers)
+	runBlocks(len(targets), workers, func(wi, _, lo, hi int) {
+		rs := res[wi]
+		if rs == nil {
+			rs = bindResolvers(dbs)
+			res[wi] = rs
+			parts[wi].v.wrong = make([]int, len(dbs))
 		}
+		block := targets[lo:hi]
+		for _, r := range rs {
+			r.resolveTargets(block)
+		}
+		p := &parts[wi].v
 		answers := make([]string, len(dbs))
-		for _, t := range targets[lo:hi] {
+		for k := range block {
+			t := &block[k]
 			allSameWrong := true
-			for i, lookup := range lookups {
-				rec, ok := lookup(t.Addr)
+			for i, r := range rs {
+				rec, ok := r.rec(k)
 				if !ok || !rec.HasCountry() {
 					allSameWrong = false
 					answers[i] = ""
@@ -375,14 +413,30 @@ func SharedIncorrect(dbs []geodb.Provider, targets []Target) (shared int, wrongP
 				p.shared++
 			}
 		}
-		parts[ci] = p
 	})
+	for _, rs := range res {
+		putResolvers(rs)
+	}
 	wrongPerDB = make([]int, len(dbs))
-	for _, p := range parts {
+	for i := range parts {
+		p := &parts[i].v
 		shared += p.shared
 		for i, n := range p.wrong {
 			wrongPerDB[i] += n
 		}
 	}
 	return shared, wrongPerDB
+}
+
+// bindResolvers mints one worker's resolver per provider. The pool Gets
+// stay inline per the poolescape rule's pairing with putResolvers at
+// sweep end.
+func bindResolvers(dbs []geodb.Provider) []*resolver {
+	rs := make([]*resolver, len(dbs))
+	for i, db := range dbs {
+		r := resolverPool.Get().(*resolver)
+		r.bind(db)
+		rs[i] = r
+	}
+	return rs
 }

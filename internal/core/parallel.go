@@ -7,15 +7,25 @@ import (
 )
 
 // The parallel measurement engine. Every measurement in this package is
-// embarrassingly parallel — no cross-address state — so each one runs as
-// a chunked map-reduce: the input slice is split into one contiguous
-// chunk per worker, each worker accumulates into a private partial
-// (counters plus raw ECDF samples) using its own per-goroutine lookup
-// finder, and the partials are merged in chunk order. Merging in chunk
-// order makes the result identical to the serial loop's, whatever the
-// goroutine schedule; the single-worker case degenerates to the plain
-// serial loop with no goroutines spawned, and doubles as the oracle the
-// equality tests compare against.
+// embarrassingly parallel — no cross-address state — so each one runs
+// as a block map-reduce: the input is cut into fixed-size blocks, the
+// workers claim blocks off a shared atomic cursor (work stealing: a
+// worker stalled on a page miss or a slow remote batch cannot idle the
+// others, unlike the one-big-chunk-per-worker split this replaced), and
+// per-worker partials merge after the last block. Two properties keep
+// the result byte-identical to the serial loop's, whatever the
+// goroutine schedule: counter sums and ECDF sample multisets are
+// accumulation-order-free, and the one order-sensitive output
+// (CityAnsweredInAll's survivor list) is stored per block and
+// concatenated in block order. The single-worker case visits the same
+// blocks in index order on the caller's goroutine with no goroutines
+// spawned, and doubles as the oracle the equality tests compare
+// against.
+//
+// Blocks are also the batch-lookup grain: each worker resolves a whole
+// block through geodb.BatchIndexer (sort-and-walk, see ipx.FindBatch)
+// before scoring it, and per-block obs.Progress updates replace the
+// per-address ones that used to dominate sweep profiles.
 
 // parallelismSetting holds the configured worker count; <= 0 means "use
 // GOMAXPROCS".
@@ -41,6 +51,13 @@ func Parallelism() int {
 // equality tests can force tiny inputs through the parallel path.
 var serialCutoff = 1 << 13
 
+// blockSize is the work-stealing grain and the batch-lookup unit: big
+// enough that claiming a block (one atomic add) is noise, small enough
+// that a sweep splits into many more blocks than workers, so uneven
+// per-block cost rebalances. A variable so tests can force multi-block
+// schedules on tiny inputs.
+var blockSize = 8192
+
 // workersFor resolves how many workers an input of n items gets.
 func workersFor(n int) int {
 	w := Parallelism()
@@ -53,37 +70,47 @@ func workersFor(n int) int {
 	return w
 }
 
-// chunkBounds splits [0, n) into workers contiguous chunks whose sizes
-// differ by at most one, in index order.
-func chunkBounds(n, workers int) [][2]int {
-	out := make([][2]int, 0, workers)
-	lo := 0
-	for i := 0; i < workers; i++ {
-		hi := lo + (n-lo)/(workers-i)
-		out = append(out, [2]int{lo, hi})
-		lo = hi
-	}
-	return out
+// numBlocks returns how many blocks [0, n) splits into.
+func numBlocks(n int) int { return (n + blockSize - 1) / blockSize }
+
+// slot pads a per-worker partial to its own cache line, so workers
+// flushing block-local tallies into parts[wi] never false-share with
+// their neighbours.
+type slot[T any] struct {
+	v T
+	_ [64]byte
 }
 
-// runChunks executes process once per chunk, on the caller's goroutine
-// when workers == 1 and on one goroutine per chunk otherwise, and waits
-// for all of them. process receives the chunk index and its [lo, hi)
-// bounds; callers store partials by chunk index, which keeps every merge
-// order-deterministic.
-func runChunks(n, workers int, process func(ci, lo, hi int)) {
+// runBlocks executes process once per block of [0, n) and waits for all
+// of them. workers == 1 visits the blocks in index order on the
+// caller's goroutine; otherwise workers goroutines claim blocks off an
+// atomic cursor. process receives the claiming worker's index wi (for
+// per-worker state: resolvers, sample buffers), the block index bi (for
+// order-sensitive merges) and the block's [lo, hi) bounds.
+func runBlocks(n, workers int, process func(wi, bi, lo, hi int)) {
+	nb := numBlocks(n)
 	if workers <= 1 {
-		process(0, 0, n)
+		for bi := 0; bi < nb; bi++ {
+			lo := bi * blockSize
+			process(0, bi, lo, min(lo+blockSize, n))
+		}
 		return
 	}
-	bounds := chunkBounds(n, workers)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(len(bounds))
-	for ci, b := range bounds {
-		go func(ci, lo, hi int) {
+	wg.Add(workers)
+	for wi := 0; wi < workers; wi++ {
+		go func(wi int) {
 			defer wg.Done()
-			process(ci, lo, hi)
-		}(ci, b[0], b[1])
+			for {
+				bi := int(cursor.Add(1)) - 1
+				if bi >= nb {
+					return
+				}
+				lo := bi * blockSize
+				process(wi, bi, lo, min(lo+blockSize, n))
+			}
+		}(wi)
 	}
 	wg.Wait()
 }

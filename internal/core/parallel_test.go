@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"routergeo/internal/geo"
@@ -13,18 +14,28 @@ import (
 	"routergeo/internal/stats"
 )
 
-// forceParallel drops the serial cutoff and pins the worker count so
-// even tiny inputs exercise the chunked path, restoring both on cleanup.
+// forceParallel drops the serial cutoff, shrinks the block size and pins
+// the worker count so even tiny inputs split into many stolen blocks,
+// restoring everything on cleanup.
 func forceParallel(t *testing.T, workers int) {
 	t.Helper()
-	oldCutoff := serialCutoff
+	oldCutoff, oldBlock := serialCutoff, blockSize
 	serialCutoff = 1
+	blockSize = 512
 	SetParallelism(workers)
 	t.Cleanup(func() {
-		serialCutoff = oldCutoff
+		serialCutoff, blockSize = oldCutoff, oldBlock
 		SetParallelism(0)
 	})
 }
+
+// noBatch hides every fast-path interface of a database, forcing the
+// engine down the per-address fallback so the equality tests cover both
+// resolver paths.
+type noBatch struct{ db geodb.Provider }
+
+func (n noBatch) Name() string                           { return n.db.Name() }
+func (n noBatch) Lookup(a ipx.Addr) (geodb.Record, bool) { return n.db.Lookup(a) }
 
 // synthDB builds a deterministic database: /24s across 10.0.0.0/8 cycle
 // through city, country-only, and missing records, with coordinates
@@ -69,12 +80,14 @@ func synthInputs(n int) ([]ipx.Addr, []Target) {
 	for i := range addrs {
 		a := ipx.Addr(10<<24 | rng.Intn(900)<<8 | rng.Intn(256))
 		addrs[i] = a
+		truth := geo.Coordinate{Lat: -60 + rng.Float64()*120, Lon: -170 + rng.Float64()*340}
 		targets[i] = Target{
-			Addr:    a,
-			Truth:   geo.Coordinate{Lat: -60 + rng.Float64()*120, Lon: -170 + rng.Float64()*340},
-			Country: countries[rng.Intn(len(countries))],
-			RIR:     rirs[rng.Intn(len(rirs))],
-			Method:  methods[rng.Intn(len(methods))],
+			Addr:     a,
+			Truth:    truth,
+			TruthVec: truth.Vec(), // cached, as TargetsFromDataset would
+			Country:  countries[rng.Intn(len(countries))],
+			RIR:      rirs[rng.Intn(len(rirs))],
+			Method:   methods[rng.Intn(len(methods))],
 		}
 	}
 	return addrs, targets
@@ -124,95 +137,168 @@ func TestParallelMatchesSerial(t *testing.T) {
 	cityS := CityAnsweredInAll(ctx, providers, addrs)
 	sharedS, wrongS := SharedIncorrect(providers, targets)
 
-	for _, workers := range []int{2, 3, 7} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			forceParallel(t, workers)
+	// The fallback variant hides BatchIndexer behind a wrapper: both
+	// resolver paths must reproduce the same serial oracle.
+	variants := []struct {
+		name      string
+		a, b      geodb.Provider
+		providers []geodb.Provider
+	}{
+		{"batch", dbA, dbB, providers},
+		{"fallback", noBatch{dbA}, noBatch{dbB},
+			[]geodb.Provider{noBatch{dbA}, noBatch{dbB}, noBatch{dbC}}},
+	}
 
+	for _, v := range variants {
+		for _, workers := range []int{2, 3, 7} {
+			t.Run(fmt.Sprintf("%s/workers=%d", v.name, workers), func(t *testing.T) {
+				forceParallel(t, workers)
+				dbA, dbB, providers := v.a, v.b, v.providers
+
+				if covP := MeasureCoverage(ctx, dbA, addrs); covP != covS {
+					t.Errorf("coverage: serial %+v parallel %+v", covS, covP)
+				}
+				sameAccuracy(t, "accuracy", accS, MeasureAccuracy(ctx, dbA, targets))
+
+				byRIRP := AccuracyByRIR(ctx, dbA, targets)
+				if len(byRIRP) != len(byRIRS) {
+					t.Fatalf("byRIR sizes: %d vs %d", len(byRIRS), len(byRIRP))
+				}
+				for k, want := range byRIRS {
+					sameAccuracy(t, "byRIR["+k.String()+"]", want, byRIRP[k])
+				}
+				byCCP := AccuracyByCountry(ctx, dbA, targets)
+				if len(byCCP) != len(byCCS) {
+					t.Fatalf("byCountry sizes: %d vs %d", len(byCCS), len(byCCP))
+				}
+				for k, want := range byCCS {
+					sameAccuracy(t, "byCountry["+k+"]", want, byCCP[k])
+				}
+				byMP := AccuracyByMethod(ctx, dbA, targets)
+				for k, want := range byMS {
+					sameAccuracy(t, "byMethod", want, byMP[k])
+				}
+
+				if agreeP, bothP := CountryAgreement(ctx, dbA, dbB, addrs); agreeP != agreeS || bothP != bothS {
+					t.Errorf("agreement: serial %d/%d parallel %d/%d", agreeS, bothS, agreeP, bothP)
+				}
+				if allP, totalP := CountryAgreementAll(ctx, providers, addrs); allP != allS || totalP != totalS {
+					t.Errorf("agreement-all: serial %d/%d parallel %d/%d", allS, totalS, allP, totalP)
+				}
+
+				pairP := MeasurePairwiseCity(ctx, dbA, dbB, addrs)
+				if pairP.Both != pairS.Both || pairP.Identical != pairS.Identical || pairP.Over40Km != pairS.Over40Km {
+					t.Errorf("pairwise: serial %+v parallel %+v", pairS, pairP)
+				}
+				samePoints(t, "pairwise CDF", pairS.CDF, pairP.CDF)
+
+				cityP := CityAnsweredInAll(ctx, providers, addrs)
+				if len(cityP) != len(cityS) {
+					t.Fatalf("city-in-all: %d vs %d survivors", len(cityS), len(cityP))
+				}
+				for i := range cityS {
+					if cityP[i] != cityS[i] {
+						t.Fatalf("city-in-all order diverges at %d: %v vs %v", i, cityS[i], cityP[i])
+					}
+				}
+
+				sharedP, wrongP := SharedIncorrect(providers, targets)
+				if sharedP != sharedS {
+					t.Errorf("shared-incorrect: serial %d parallel %d", sharedS, sharedP)
+				}
+				for i := range wrongS {
+					if wrongP[i] != wrongS[i] {
+						t.Errorf("wrongPerDB[%d]: serial %d parallel %d", i, wrongS[i], wrongP[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSerialAdversarial runs the sweep equality check on
+// address patterns chosen to stress the batch kernel: already sorted,
+// reversed, all-duplicate, tightly clustered and block-striped inputs.
+func TestParallelMatchesSerialAdversarial(t *testing.T) {
+	ctx := context.Background()
+	dbA := synthDB(t, "a", 1)
+	dbB := synthDB(t, "b", 2)
+
+	n := 5000
+	patterns := map[string]func(i int) ipx.Addr{
+		"sorted":    func(i int) ipx.Addr { return ipx.Addr(10<<24 | (i%900)<<8 | i%256) },
+		"reversed":  func(i int) ipx.Addr { return ipx.Addr(10<<24 | ((n-i)%900)<<8 | (n-i)%256) },
+		"identical": func(i int) ipx.Addr { return ipx.Addr(10<<24 | 3<<8 | 7) },
+		"clustered": func(i int) ipx.Addr { return ipx.Addr(10<<24 | 5<<8 | i%256) },
+		"striped":   func(i int) ipx.Addr { return ipx.Addr(10<<24 | (i*37%900)<<8 | i*101%256) },
+	}
+	for name, gen := range patterns {
+		t.Run(name, func(t *testing.T) {
+			addrs := make([]ipx.Addr, n)
+			for i := range addrs {
+				addrs[i] = gen(i)
+			}
+			SetParallelism(1)
+			covS := MeasureCoverage(ctx, dbA, addrs)
+			agreeS, bothS := CountryAgreement(ctx, dbA, dbB, addrs)
+			pairS := MeasurePairwiseCity(ctx, dbA, dbB, addrs)
+
+			forceParallel(t, 4)
 			if covP := MeasureCoverage(ctx, dbA, addrs); covP != covS {
 				t.Errorf("coverage: serial %+v parallel %+v", covS, covP)
 			}
-			sameAccuracy(t, "accuracy", accS, MeasureAccuracy(ctx, dbA, targets))
-
-			byRIRP := AccuracyByRIR(ctx, dbA, targets)
-			if len(byRIRP) != len(byRIRS) {
-				t.Fatalf("byRIR sizes: %d vs %d", len(byRIRS), len(byRIRP))
-			}
-			for k, want := range byRIRS {
-				sameAccuracy(t, "byRIR["+k.String()+"]", want, byRIRP[k])
-			}
-			byCCP := AccuracyByCountry(ctx, dbA, targets)
-			if len(byCCP) != len(byCCS) {
-				t.Fatalf("byCountry sizes: %d vs %d", len(byCCS), len(byCCP))
-			}
-			for k, want := range byCCS {
-				sameAccuracy(t, "byCountry["+k+"]", want, byCCP[k])
-			}
-			byMP := AccuracyByMethod(ctx, dbA, targets)
-			for k, want := range byMS {
-				sameAccuracy(t, "byMethod", want, byMP[k])
-			}
-
 			if agreeP, bothP := CountryAgreement(ctx, dbA, dbB, addrs); agreeP != agreeS || bothP != bothS {
 				t.Errorf("agreement: serial %d/%d parallel %d/%d", agreeS, bothS, agreeP, bothP)
 			}
-			if allP, totalP := CountryAgreementAll(ctx, providers, addrs); allP != allS || totalP != totalS {
-				t.Errorf("agreement-all: serial %d/%d parallel %d/%d", allS, totalS, allP, totalP)
-			}
-
 			pairP := MeasurePairwiseCity(ctx, dbA, dbB, addrs)
 			if pairP.Both != pairS.Both || pairP.Identical != pairS.Identical || pairP.Over40Km != pairS.Over40Km {
 				t.Errorf("pairwise: serial %+v parallel %+v", pairS, pairP)
 			}
 			samePoints(t, "pairwise CDF", pairS.CDF, pairP.CDF)
-
-			cityP := CityAnsweredInAll(ctx, providers, addrs)
-			if len(cityP) != len(cityS) {
-				t.Fatalf("city-in-all: %d vs %d survivors", len(cityS), len(cityP))
-			}
-			for i := range cityS {
-				if cityP[i] != cityS[i] {
-					t.Fatalf("city-in-all order diverges at %d: %v vs %v", i, cityS[i], cityP[i])
-				}
-			}
-
-			sharedP, wrongP := SharedIncorrect(providers, targets)
-			if sharedP != sharedS {
-				t.Errorf("shared-incorrect: serial %d parallel %d", sharedS, sharedP)
-			}
-			for i := range wrongS {
-				if wrongP[i] != wrongS[i] {
-					t.Errorf("wrongPerDB[%d]: serial %d parallel %d", i, wrongS[i], wrongP[i])
-				}
-			}
 		})
 	}
 }
 
-func TestChunkBounds(t *testing.T) {
+// TestRunBlocks checks the block engine's contract: every index in
+// [0, n) is processed exactly once, block bounds match the block index,
+// and the serial path visits blocks in order.
+func TestRunBlocks(t *testing.T) {
+	oldBlock := blockSize
+	blockSize = 64
+	t.Cleanup(func() { blockSize = oldBlock })
+
 	for _, tc := range []struct{ n, workers int }{
-		{0, 1}, {1, 1}, {5, 2}, {10, 3}, {8192, 7}, {100, 100},
+		{0, 1}, {0, 4}, {1, 1}, {63, 2}, {64, 3}, {65, 7},
+		{1000, 1}, {1000, 4}, {4096, 8}, {100, 100},
 	} {
-		bounds := chunkBounds(tc.n, tc.workers)
-		if len(bounds) != tc.workers {
-			t.Fatalf("chunkBounds(%d,%d) yields %d chunks", tc.n, tc.workers, len(bounds))
-		}
-		prev, minSz, maxSz := 0, tc.n, 0
-		for _, b := range bounds {
-			if b[0] != prev {
-				t.Fatalf("chunkBounds(%d,%d): gap before %v", tc.n, tc.workers, b)
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		var serialOrder []int
+		runBlocks(tc.n, tc.workers, func(wi, bi, lo, hi int) {
+			if lo != bi*blockSize || hi != min(lo+blockSize, tc.n) || lo >= hi {
+				t.Errorf("runBlocks(%d,%d): block %d has bounds [%d,%d)", tc.n, tc.workers, bi, lo, hi)
 			}
-			prev = b[1]
-			if sz := b[1] - b[0]; sz < minSz {
-				minSz = sz
-			} else if sz > maxSz {
-				maxSz = sz
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			if tc.workers == 1 {
+				serialOrder = append(serialOrder, bi)
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("runBlocks(%d,%d): index %d processed %d times", tc.n, tc.workers, i, c)
 			}
 		}
-		if prev != tc.n {
-			t.Fatalf("chunkBounds(%d,%d) ends at %d", tc.n, tc.workers, prev)
+		for i := 1; i < len(serialOrder); i++ {
+			if serialOrder[i] != serialOrder[i-1]+1 {
+				t.Fatalf("serial path visited blocks out of order: %v", serialOrder)
+			}
 		}
-		if tc.n >= tc.workers && maxSz-minSz > 1 {
-			t.Errorf("chunkBounds(%d,%d): uneven chunks (%d..%d)", tc.n, tc.workers, minSz, maxSz)
+		if want := numBlocks(tc.n); tc.workers == 1 && len(serialOrder) != want {
+			t.Fatalf("runBlocks(%d,1): %d blocks visited, want %d", tc.n, len(serialOrder), want)
 		}
 	}
 }

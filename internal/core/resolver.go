@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+
+	"routergeo/internal/geo"
+	"routergeo/internal/geodb"
+	"routergeo/internal/ipx"
+)
+
+// resolver is one worker's lookup machinery for one provider: it
+// resolves a whole block of addresses up front, then hands the scoring
+// loop per-position record views. Local databases resolve through
+// geodb.BatchIndexer — the sort-and-walk kernel plus an index into the
+// shared record table, no per-address record copies — and everything
+// else falls back to the provider's per-address lookup function.
+// Resolvers are pooled: the buffers and the radix scratch survive
+// across blocks, workers and measurements, so steady-state sweeps
+// allocate nothing per block. Not safe for concurrent use; one
+// resolver per (worker, provider).
+type resolver struct {
+	// batch path
+	batch geodb.BatchIndexer
+	recs  []geodb.Record
+	vecs  []geo.Vec3 // cached unit vectors per record, nil when unavailable
+	idxs  []int32
+	sc    ipx.BatchScratch
+
+	// fallback path
+	lookup func(ipx.Addr) (geodb.Record, bool)
+	recbuf []geodb.Record
+	okbuf  []bool
+
+	// addrbuf extracts target addresses for resolveTargets.
+	addrbuf []ipx.Addr
+}
+
+// resolverPool recycles resolvers. Sites must Get inline and hand the
+// object back through putResolver; the poolescape lint rule keeps
+// pooled objects from outliving the sweep that got them.
+var resolverPool = sync.Pool{New: func() any { return new(resolver) }}
+
+// recordVeccer is the optional provider hook for a cached unit-vector
+// table parallel to Records() (geodb.DB implements it).
+type recordVeccer interface {
+	RecordVecs() []geo.Vec3
+}
+
+// bind points the resolver at db, choosing the batch or fallback path.
+func (r *resolver) bind(db geodb.Provider) {
+	if b, ok := db.(geodb.BatchIndexer); ok {
+		r.batch, r.recs, r.lookup = b, b.Records(), nil
+		if v, ok := db.(recordVeccer); ok {
+			r.vecs = v.RecordVecs()
+		}
+		return
+	}
+	r.batch, r.recs, r.lookup = nil, nil, geodb.LookupFunc(db)
+}
+
+// putResolver returns r to the pool, dropping the provider references
+// so a pooled resolver never pins a hot-swapped database's memory.
+func putResolver(r *resolver) {
+	if r == nil {
+		return
+	}
+	r.batch, r.recs, r.vecs, r.lookup = nil, nil, nil, nil
+	resolverPool.Put(r)
+}
+
+// putResolvers returns every bound resolver of a per-worker table.
+func putResolvers(rs []*resolver) {
+	for _, r := range rs {
+		putResolver(r)
+	}
+}
+
+// grow returns s resized to n, reallocating only when capacity is
+// short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resolve answers one block of addresses; rec(k) then reads position k.
+func (r *resolver) resolve(addrs []ipx.Addr) {
+	n := len(addrs)
+	if r.batch != nil {
+		r.idxs = grow(r.idxs, n)
+		r.batch.LookupIndexBatch(addrs, r.idxs, &r.sc)
+		return
+	}
+	r.recbuf = grow(r.recbuf, n)
+	r.okbuf = grow(r.okbuf, n)
+	for i, a := range addrs {
+		r.recbuf[i], r.okbuf[i] = r.lookup(a)
+	}
+}
+
+// resolveTargets is resolve over a target block's addresses.
+func (r *resolver) resolveTargets(targets []Target) {
+	r.addrbuf = grow(r.addrbuf, len(targets))
+	for i := range targets {
+		r.addrbuf[i] = targets[i].Addr
+	}
+	r.resolve(r.addrbuf)
+}
+
+// rec returns the record answering the k-th address of the last
+// resolved block, or ok == false for a miss. The returned pointer is
+// valid until the next resolve and must not be written through.
+func (r *resolver) rec(k int) (rec *geodb.Record, ok bool) {
+	if r.batch != nil {
+		i := r.idxs[k]
+		if i < 0 {
+			return nil, false
+		}
+		return &r.recs[i], true
+	}
+	if !r.okbuf[k] {
+		return nil, false
+	}
+	return &r.recbuf[k], true
+}
+
+// vec returns the unit vector of rec's coordinates, where rec is the
+// record rec(k) reported for the last resolved block: the cached table
+// entry on the batch path, computed on the fly otherwise. Both give the
+// same bits — the table is built by the same Coordinate.Vec — so batch
+// and fallback sweeps score identically.
+func (r *resolver) vec(k int, rec *geodb.Record) geo.Vec3 {
+	if r.vecs != nil {
+		return r.vecs[r.idxs[k]]
+	}
+	return rec.Coord.Vec()
+}
+
+// samplePool recycles per-worker ECDF sample buffers. Workers append
+// raw distance samples during a sweep; the merge step concatenates them
+// into the result CDF and puts the buffers back via putSamples.
+var samplePool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 1<<14)
+	return &s
+}}
+
+// putSamples hands a sample buffer (possibly grown) back to the pool.
+func putSamples(s *[]float64) {
+	if s != nil {
+		samplePool.Put(s)
+	}
+}
+
+// mergeSamples concatenates per-worker sample buffers into one freshly
+// allocated slice (the one allocation that must escape into the result
+// CDF) and recycles the buffers.
+func mergeSamples(bufs []*[]float64) []float64 {
+	total := 0
+	for _, s := range bufs {
+		if s != nil {
+			total += len(*s)
+		}
+	}
+	out := make([]float64, 0, total)
+	for _, s := range bufs {
+		if s != nil {
+			out = append(out, *s...)
+			putSamples(s)
+		}
+	}
+	return out
+}

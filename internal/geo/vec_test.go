@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAsinSqrt pins the rational kernel to the library composition
+// asin(√h) across the full domain, including both reduction branches
+// and their boundary.
+func TestAsinSqrt(t *testing.T) {
+	check := func(h float64) {
+		got := asinSqrt(h)
+		want := math.Asin(math.Sqrt(h))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("asinSqrt(%v) = %v, want %v (diff %g)", h, got, want, got-want)
+		}
+	}
+	for i := 0; i <= 1_000_000; i++ {
+		check(float64(i) / 1_000_000)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1_000_000; i++ {
+		check(rng.Float64())
+	}
+	for _, h := range []float64{0, 0.25, math.Nextafter(0.25, 1), 1} {
+		check(h)
+	}
+}
+
+// TestVecUnit checks Vec returns unit vectors at the poles, the
+// equator and random points.
+func TestVecUnit(t *testing.T) {
+	cases := []Coordinate{
+		{Lat: 0, Lon: 0}, {Lat: 90, Lon: 0}, {Lat: -90, Lon: 0},
+		{Lat: 0, Lon: 180}, {Lat: 0, Lon: -180}, {Lat: 45, Lon: -122},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		cases = append(cases, Coordinate{
+			Lat: rng.Float64()*180 - 90,
+			Lon: rng.Float64()*360 - 180,
+		})
+	}
+	for _, c := range cases {
+		v := c.Vec()
+		n := v.X*v.X + v.Y*v.Y + v.Z*v.Z
+		if math.Abs(n-1) > 1e-14 {
+			t.Errorf("Vec(%v) norm² = %v", c, n)
+		}
+	}
+	if !(Vec3{}).IsZero() || (Coordinate{Lat: 45, Lon: 45}).Vec().IsZero() {
+		t.Error("IsZero sentinel misbehaves")
+	}
+}
+
+// TestArcKmMatchesDistanceKm checks the cached-vector distance agrees
+// with the coordinate haversine everywhere the evaluation looks:
+// random world pairs, threshold-scale offsets, and degenerate pairs.
+// Tolerance is 1e-4 km (10 cm) — see the ArcKm comment on why nearly
+// coincident points carry that much cancellation noise.
+func TestArcKmMatchesDistanceKm(t *testing.T) {
+	const tol = 1e-4
+	check := func(a, b Coordinate) {
+		got := ArcKm(a.Vec(), b.Vec())
+		want := a.DistanceKm(b)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("ArcKm(%v, %v) = %v, DistanceKm = %v (diff %g)",
+				a, b, got, want, got-want)
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	randPt := func() Coordinate {
+		return Coordinate{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+	}
+	for i := 0; i < 200_000; i++ {
+		check(randPt(), randPt())
+	}
+	// Threshold-scale pairs: the 40 km city range and the 50/100 km
+	// proximity bounds are where a formula disagreement would bite.
+	for i := 0; i < 10_000; i++ {
+		a := randPt()
+		check(a, a.Offset(rng.Float64()*120, rng.Float64()*360))
+	}
+	check(Coordinate{}, Coordinate{})
+	check(Coordinate{Lat: 90}, Coordinate{Lat: -90})                // antipodal poles
+	check(Coordinate{Lat: 0, Lon: 0}, Coordinate{Lat: 0, Lon: 180}) // antipodal equator
+	same := Coordinate{Lat: 47.6, Lon: -122.3}
+	check(same, same)
+}
+
+// BenchmarkArcKm measures the cached-vector distance kernel against the
+// coordinate haversine it replaces on the sweep hot path.
+func BenchmarkArcKm(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 1024
+	va := make([]Vec3, n)
+	vb := make([]Vec3, n)
+	ca := make([]Coordinate, n)
+	cb := make([]Coordinate, n)
+	for i := 0; i < n; i++ {
+		ca[i] = Coordinate{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		cb[i] = Coordinate{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		va[i], vb[i] = ca[i].Vec(), cb[i].Vec()
+	}
+	b.Run("vec", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += ArcKm(va[i%n], vb[i%n])
+		}
+		benchSink = sink
+	})
+	b.Run("haversine", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += ca[i%n].DistanceKm(cb[i%n])
+		}
+		benchSink = sink
+	})
+}
+
+var benchSink float64

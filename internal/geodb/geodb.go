@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 
 	"routergeo/internal/geo"
 	"routergeo/internal/ipx"
@@ -99,6 +100,24 @@ func LookupFunc(db Provider) func(a ipx.Addr) (Record, bool) {
 	return db.Lookup
 }
 
+// BatchIndexer is implemented by providers whose record table is
+// resident in memory and whose lookups can be resolved in bulk. The
+// contract: out[i] after LookupIndexBatch is an index into Records()
+// answering addrs[i], or -1 when the provider has no covering record —
+// exactly what per-address Lookup would report, but resolved through a
+// sort-and-walk kernel that touches the index monotonically. Answers
+// are indices rather than Record copies so scoring loops read records
+// in place without per-address copying.
+type BatchIndexer interface {
+	// Records returns the shared record table; callers must treat it as
+	// read-only.
+	Records() []Record
+	// LookupIndexBatch fills out[:len(addrs)] with record-table indices
+	// (-1 for a miss). s holds the reusable sort scratch; one scratch per
+	// goroutine, never shared concurrently.
+	LookupIndexBatch(addrs []ipx.Addr, out []int32, s *ipx.BatchScratch)
+}
+
 // DB is an immutable sorted-range geolocation database. Queries are
 // served from a flat structure-of-arrays index with a /16 jump table
 // whose values are indices into a deduplicated record table — the same
@@ -111,6 +130,12 @@ type DB struct {
 	idx  *ipx.FlatIndex[uint32]
 	recs []Record
 	meta Meta
+
+	// vecs caches one unit-sphere vector per record-table entry, built
+	// lazily on first RecordVecs call. The table is immutable once
+	// published, like everything else here.
+	vecsOnce sync.Once
+	vecs     []geo.Vec3
 }
 
 // Meta is the provenance a database carries: where it came from and the
@@ -159,6 +184,49 @@ func (d *DB) Finder() func(a ipx.Addr) (Record, bool) {
 			return Record{}, false
 		}
 		return recs[i], true
+	}
+}
+
+// compile-time interface checks
+var (
+	_ Provider     = (*DB)(nil)
+	_ Finderer     = (*DB)(nil)
+	_ BatchIndexer = (*DB)(nil)
+)
+
+// Records implements BatchIndexer: the deduplicated record table range
+// values index into. Read-only.
+func (d *DB) Records() []Record { return d.recs }
+
+// RecordVecs returns one unit-sphere vector per Records() entry,
+// computed lazily on first use and shared (read-only) thereafter. The
+// accuracy and consistency sweeps read it so per-pair great-circle
+// distances cost a dot product (geo.ArcKm) instead of per-pair
+// trigonometry. Only city records carry coordinates; every other entry
+// stays the zero vector and is never consulted.
+func (d *DB) RecordVecs() []geo.Vec3 {
+	d.vecsOnce.Do(func() {
+		vs := make([]geo.Vec3, len(d.recs))
+		for i := range d.recs {
+			if d.recs[i].HasCity() {
+				vs[i] = d.recs[i].Coord.Vec()
+			}
+		}
+		d.vecs = vs
+	})
+	return d.vecs
+}
+
+// LookupIndexBatch implements BatchIndexer over the flat index: resolve
+// every address to its covering interval in one monotone walk, then map
+// intervals to record-table indices.
+func (d *DB) LookupIndexBatch(addrs []ipx.Addr, out []int32, s *ipx.BatchScratch) {
+	d.idx.FindBatch(addrs, out, s)
+	_, _, vals, _ := d.idx.SoA()
+	for i, iv := range out[:len(addrs)] {
+		if iv >= 0 {
+			out[i] = int32(vals[iv])
+		}
 	}
 }
 

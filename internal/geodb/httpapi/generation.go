@@ -28,6 +28,10 @@ type generation struct {
 	infos  []DatabaseInfo
 	snaps  map[string]SnapshotInfo
 
+	// serve is the /v2/lookup serializer cache: the databases in sorted
+	// name order with their per-record response JSON pre-marshaled.
+	serve []servedDB
+
 	// id is the set-level generation id: a hash over the sorted per-DB
 	// generations, so it changes iff any member database changes. etag is
 	// its quoted strong-ETag form.
@@ -71,6 +75,7 @@ func newGeneration(dbs []*geodb.DB, closers []func() error) *generation {
 	}
 	g.id = fmt.Sprintf("%016x", h.Sum64())
 	g.etag = `"` + g.id + `"`
+	g.serve = newServedDBs(g.names, g.byName)
 	return g
 }
 

@@ -173,6 +173,29 @@ func (m *metrics) recordLookup(db string, found bool) {
 	}
 }
 
+// addLookups tallies a whole batch's worth of answers for one database
+// in two counter adds, so the /v2/lookup hot path pays the tally-map
+// lock once per (request, database) instead of once per address.
+func (m *metrics) addLookups(db string, hits, misses int64) {
+	m.mu.RLock()
+	t, ok := m.byDB[db]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		t, ok = m.byDB[db]
+		if !ok {
+			t = &dbTally{
+				hits:   m.reg.Counter("db." + db + ".hits"),
+				misses: m.reg.Counter("db." + db + ".misses"),
+			}
+			m.byDB[db] = t
+		}
+		m.mu.Unlock()
+	}
+	t.hits.Add(hits)
+	t.misses.Add(misses)
+}
+
 // snapshot assembles a StatsResponse from the live instruments.
 func (m *metrics) snapshot() StatsResponse {
 	out := StatsResponse{

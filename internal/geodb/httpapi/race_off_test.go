@@ -1,0 +1,7 @@
+//go:build !race
+
+package httpapi
+
+// raceEnabled mirrors the stdlib's internal/race.Enabled; see
+// race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package httpapi
+
+// raceEnabled mirrors the stdlib's internal/race.Enabled: allocation
+// assertions are skipped under the race detector, whose instrumentation
+// allocates on paths that are allocation-free in a normal build.
+const raceEnabled = true

@@ -102,18 +102,29 @@ func FlatIndexFromSoA[V any](los, his []Addr, vals []V, jump []int32) (*FlatInde
 	return &FlatIndex[V]{los: los, his: his, vals: vals, jump: jump}, nil
 }
 
+// linearCutoff is the bucket-window width below which find switches
+// from binary search to a linear scan of the lower bounds. Short
+// windows are the common case (/16 buckets rarely hold many intervals),
+// and a forward scan over the 4-byte SoA bounds is branch-predictable
+// and prefetch-friendly where binary search is neither.
+const linearCutoff = 8
+
 // find returns the index of the interval covering a, if any.
 func (x *FlatIndex[V]) find(a Addr) (int, bool) {
 	hi := a >> 16
 	lo, up := int(x.jump[hi]), int(x.jump[hi+1])
-	// Binary search inside the bucket window for the first Lo > a.
-	for lo < up {
+	// Binary search inside the bucket window for the first Lo > a, until
+	// the window is short enough that a linear scan wins.
+	for up-lo > linearCutoff {
 		mid := int(uint(lo+up) >> 1)
 		if x.los[mid] > a {
 			up = mid
 		} else {
 			lo = mid + 1
 		}
+	}
+	for lo < up && x.los[lo] <= a {
+		lo++
 	}
 	if lo == 0 {
 		return 0, false

@@ -114,3 +114,57 @@ func FuzzFlatIndexEquivalence(f *testing.F) {
 		})
 	})
 }
+
+// FuzzLookupBatchEquivalence decodes the input as a range set plus a
+// probe list (any order, duplicates and misses included) and checks the
+// sort-then-walk LookupBatch kernel answers exactly like per-address
+// Lookup at every position.
+func FuzzLookupBatchEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 0, 0, 10, 0, 255, 255, 10, 0, 0, 5, 9, 255, 255, 255})
+	f.Add([]byte{
+		10, 0, 0, 0, 10, 0, 255, 255,
+		10, 2, 0, 0, 10, 7, 0, 0, // spans several /16 buckets
+		10, 3, 0, 9, 10, 0, 0, 1, 10, 3, 0, 9, // probes, descending, repeated
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &RangeMap[uint32]{}
+		var hi Addr
+		placed := false
+		i := 0
+		for ; i+8 <= len(data) && m.Len() < 1<<10; i += 8 {
+			lo := Addr(binary.BigEndian.Uint32(data[i:]))
+			hiR := Addr(binary.BigEndian.Uint32(data[i+4:]))
+			if lo > hiR {
+				lo, hiR = hiR, lo
+			}
+			if placed && lo <= hi {
+				continue
+			}
+			m.Add(Range{Lo: lo, Hi: hiR}, uint32(i))
+			hi, placed = hiR, true
+		}
+		if err := m.Build(); err != nil {
+			t.Fatalf("disjoint construction still overlapped: %v", err)
+		}
+		x := NewFlatIndex(m)
+		var addrs []Addr
+		for ; i+4 <= len(data); i += 4 {
+			addrs = append(addrs, Addr(binary.BigEndian.Uint32(data[i:])))
+		}
+		m.Walk(func(r Range, _ uint32) bool {
+			addrs = append(addrs, r.Lo, r.Hi, r.Lo-1, r.Hi+1)
+			return true
+		})
+		vals := make([]uint32, len(addrs))
+		found := make([]bool, len(addrs))
+		x.LookupBatch(addrs, vals, found, &BatchScratch{})
+		for k, a := range addrs {
+			wantV, wantOK := x.Lookup(a)
+			if vals[k] != wantV || found[k] != wantOK {
+				t.Fatalf("LookupBatch[%d] (%v) = %v,%v want %v,%v", k, a, vals[k], found[k], wantV, wantOK)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		Determinism,
 		Layering,
 		MapOrder,
+		PoolEscape,
 		SlogKeys,
 		StdlibOnly,
 	}

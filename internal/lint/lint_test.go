@@ -167,6 +167,26 @@ func TestLayeringObsSubtree(t *testing.T) {
 	}
 }
 
+func TestPoolEscapeFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixpool", "routergeo/internal/geodb/httpapi/fixpool", []*Analyzer{PoolEscape})
+}
+
+// TestPoolEscapeCoreScope pins that the rule also covers the
+// measurement engine's pools.
+func TestPoolEscapeCoreScope(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixpool", "routergeo/internal/core/fixpool", []*Analyzer{PoolEscape})
+}
+
+func TestPoolEscapeOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixpool", "routergeo/internal/stats/fixpool")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{PoolEscape}); len(fs) != 0 {
+		t.Fatalf("poolescape fired outside its packages: %v", fs)
+	}
+}
+
 func TestSlogKeysFixture(t *testing.T) {
 	l := newTestLoader(t)
 	checkFixture(t, l, "fixslog", "routergeo/internal/geodb/fixslog", []*Analyzer{SlogKeys})

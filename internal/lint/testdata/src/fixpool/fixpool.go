@@ -1,0 +1,102 @@
+// Package fixpool exercises the poolescape analyzer: every way a
+// sync.Pool-managed object can outlive its Get site, next to the legal
+// get/use/put shapes the hot paths actually use.
+package fixpool
+
+import "sync"
+
+type state struct {
+	buf []byte
+	sub *state
+}
+
+var pool = sync.Pool{New: func() any { return new(state) }}
+
+type holder struct{ st *state }
+
+var global *state
+var globalBuf []byte
+var table [4]*state
+
+func leakReturn() *state {
+	st := pool.Get().(*state)
+	return st // want:poolescape
+}
+
+func leakReturnDirect() any {
+	return pool.Get() // want:poolescape
+}
+
+func leakAlias() any {
+	st := pool.Get().(*state)
+	alias := st
+	return alias // want:poolescape
+}
+
+func leakReturnBuf() []byte {
+	s := pool.Get().(*state)
+	defer pool.Put(s)
+	return s.buf // want:poolescape
+}
+
+func leakChan(ch chan *state) {
+	st := pool.Get().(*state)
+	ch <- st // want:poolescape
+}
+
+func leakStoreField(h *holder) {
+	st := pool.Get().(*state)
+	h.st = st // want:poolescape
+}
+
+func leakStoreGlobal() {
+	global = pool.Get().(*state) // want:poolescape
+}
+
+func leakStoreGlobalBuf() {
+	st := pool.Get().(*state)
+	defer pool.Put(st)
+	globalBuf = st.buf // want:poolescape
+}
+
+func leakGlobalTable(i int) {
+	st := pool.Get().(*state)
+	table[i] = st // want:poolescape
+}
+
+// okUse is the canonical shape: Get inline, copy the answer out, Put.
+func okUse() int {
+	st := pool.Get().(*state)
+	defer pool.Put(st)
+	return len(st.buf)
+}
+
+// okCopy returns a fresh copy, not the pooled memory.
+func okCopy() []byte {
+	st := pool.Get().(*state)
+	defer pool.Put(st)
+	out := make([]byte, len(st.buf))
+	copy(out, st.buf)
+	return out
+}
+
+// okReset writes back into the pooled object's own fields — the normal
+// buffer-reset pattern, nothing escapes.
+func okReset() {
+	st := pool.Get().(*state)
+	st.buf = st.buf[:0]
+	st.sub = nil
+	pool.Put(st)
+}
+
+// okWorkerTable stores into a local per-worker table that is drained
+// back into the pool before returning, like the sweep engine does.
+func okWorkerTable(n int) {
+	res := make([]*state, n)
+	for i := range res {
+		res[i] = pool.Get().(*state)
+	}
+	for _, st := range res {
+		pool.Put(st)
+	}
+}

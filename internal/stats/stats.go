@@ -6,7 +6,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sort"
 	"strings"
 )
@@ -17,6 +16,12 @@ type ECDF struct {
 	xs     []float64
 	sorted bool
 }
+
+// FromSamples adopts xs — typically the unsorted concatenation of
+// per-worker sample buffers from a parallel sweep — as the ECDF's
+// backing array without copying. The caller must not use xs afterwards.
+// Queries sort lazily, exactly as if every sample had been Added.
+func FromSamples(xs []float64) *ECDF { return &ECDF{xs: xs} }
 
 // Add appends one sample.
 func (e *ECDF) Add(x float64) {
@@ -35,7 +40,7 @@ func (e *ECDF) N() int { return len(e.xs) }
 
 func (e *ECDF) ensure() {
 	if !e.sorted {
-		slices.Sort(e.xs)
+		sortFloats(e.xs)
 		e.sorted = true
 	}
 }
@@ -77,33 +82,21 @@ func (e *ECDF) Max() float64 {
 	return e.xs[len(e.xs)-1]
 }
 
-// Merge combines already-queryable CDFs into one by k-way merging their
-// sorted samples, skipping the O(n log n) re-sort a naive AddAll would
-// pay. The parallel measurement engine uses it to fold per-worker CDFs;
-// the inputs are sorted as a side effect (as any query would) but not
-// otherwise modified. Merge of no inputs returns an empty CDF.
+// Merge combines CDFs into one. The inputs need not be sorted and are
+// not modified: the samples are concatenated and sorted in a single
+// pass (the radix sort makes that cheaper than the k-way merge of
+// per-input sorts it replaces). Merge of no inputs returns an empty
+// CDF.
 func Merge(cdfs ...*ECDF) *ECDF {
 	total := 0
 	for _, c := range cdfs {
-		c.ensure()
 		total += len(c.xs)
 	}
 	out := make([]float64, 0, total)
-	heads := make([]int, len(cdfs))
-	for len(out) < total {
-		best := -1
-		var bv float64
-		for i, c := range cdfs {
-			if heads[i] >= len(c.xs) {
-				continue
-			}
-			if best < 0 || c.xs[heads[i]] < bv {
-				best, bv = i, c.xs[heads[i]]
-			}
-		}
-		out = append(out, bv)
-		heads[best]++
+	for _, c := range cdfs {
+		out = append(out, c.xs...)
 	}
+	sortFloats(out)
 	return &ECDF{xs: out, sorted: true}
 }
 
