@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint build test race chaos metrics-verify bench bench-compare fuzz-snap profile
+.PHONY: check vet fmt lint lint-json lint-diff build test race race-full chaos metrics-verify bench bench-compare fuzz-snap profile
 
 check: vet fmt lint build race metrics-verify
 
@@ -25,6 +25,19 @@ fmt:
 lint:
 	$(GO) run ./cmd/geolint ./cmd/... ./internal/...
 
+# lint-json emits the same findings as a JSON array for machine
+# consumption — CI uploads geolint-findings.json as a build artifact so
+# a red lint job carries its evidence. Exit status matches `make lint`.
+lint-json:
+	$(GO) run ./cmd/geolint -json ./cmd/... ./internal/... | tee geolint-findings.json
+
+# lint-diff narrows REPORTING to files changed since DIFF_REF (default
+# origin/main); analyzers still run over whole packages so cross-file
+# facts stay sound. Fast pre-pass for large trees.
+DIFF_REF ?= origin/main
+lint-diff:
+	$(GO) run ./cmd/geolint -diff $(DIFF_REF) ./cmd/... ./internal/...
+
 build:
 	$(GO) build ./...
 
@@ -39,6 +52,14 @@ RACE_FIRST = ./internal/obs/... ./internal/core/... ./internal/ipx/...
 race:
 	$(GO) test -race $(RACE_FIRST)
 	$(GO) test -race $$($(GO) list ./... | grep -v -E '^routergeo/internal/(obs|core|ipx)$$')
+
+# race-full is the nightly sweep: EVERY package under -race with a
+# doubled count, so the dynamic detector cross-covers what the static
+# concurrency analyzers (atomicmix, lockbalance, gorohygiene) prove
+# per-function — interleavings and aliasing are exactly what a
+# per-function CFG cannot see.
+race-full:
+	$(GO) test -race -count 2 ./...
 
 # Chaos acceptance suite: the full remote-evaluation sweep under every
 # builtin fault policy (internal/faults) plus the fault injector's own

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	geolint [-json] [-rule name[,name...]] [-list] [patterns...]
+//	geolint [-json] [-rule name[,name...]] [-diff ref] [-list] [patterns...]
 //
 // Patterns default to ./cmd/... and ./internal/... relative to the
-// module root (found by walking up from the working directory). Exit
+// module root (found by walking up from the working directory).
+// -diff ref restricts the REPORTED findings to files changed since the
+// git ref (committed, staged or untracked); analyzers still run over
+// whole packages so cross-file facts stay sound. Outside a git
+// repository -diff degrades to a full run with a warning. Exit
 // status is 0 when clean, 1 when there are findings, 2 on usage or
 // load errors. Suppress an individual finding with
 //
@@ -32,6 +36,7 @@ func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
 		ruleSel  = flag.String("rule", "", "comma-separated rule names to run (default: all)")
+		diffRef  = flag.String("diff", "", "report only findings in files changed since this git ref")
 		listOnly = flag.Bool("list", false, "list available rules and exit")
 	)
 	flag.Parse()
@@ -69,6 +74,14 @@ func main() {
 	}
 
 	findings := lint.Run(pkgs, loader.Fset, analyzers)
+	if *diffRef != "" {
+		changed, err := lint.ChangedSince(loader.Root, *diffRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geolint: -diff %s unavailable (%v); running over the full tree\n", *diffRef, err)
+		} else {
+			findings = lint.FilterByFile(findings, changed)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -87,6 +87,8 @@ type slot[T any] struct {
 // atomic cursor. process receives the claiming worker's index wi (for
 // per-worker state: resolvers, sample buffers), the block index bi (for
 // order-sensitive merges) and the block's [lo, hi) bounds.
+//
+//geolint:hotpath
 func runBlocks(n, workers int, process func(wi, bi, lo, hi int)) {
 	nb := numBlocks(n)
 	if workers <= 1 {
@@ -100,6 +102,7 @@ func runBlocks(n, workers int, process func(wi, bi, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for wi := 0; wi < workers; wi++ {
+		//lint:ignore hotalloc one closure per WORKER per sweep, not per block — the allocation amortizes over the thousands of blocks each worker claims off the cursor
 		go func(wi int) {
 			defer wg.Done()
 			for {

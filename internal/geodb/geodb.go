@@ -220,6 +220,8 @@ func (d *DB) RecordVecs() []geo.Vec3 {
 // LookupIndexBatch implements BatchIndexer over the flat index: resolve
 // every address to its covering interval in one monotone walk, then map
 // intervals to record-table indices.
+//
+//geolint:hotpath
 func (d *DB) LookupIndexBatch(addrs []ipx.Addr, out []int32, s *ipx.BatchScratch) {
 	d.idx.FindBatch(addrs, out, s)
 	_, _, vals, _ := d.idx.SoA()

@@ -50,6 +50,8 @@ func grow[T any](s []T, n int) []T {
 // It is equivalent to calling find per address but walks the index
 // monotonically over sorted probes. out must have len(addrs) room; s
 // carries the scratch buffers between calls.
+//
+//geolint:hotpath
 func (x *FlatIndex[V]) FindBatch(addrs []Addr, out []int32, s *BatchScratch) {
 	if len(out) < len(addrs) {
 		panic("ipx: FindBatch output shorter than input")
@@ -64,6 +66,8 @@ func (x *FlatIndex[V]) FindBatch(addrs []Addr, out []int32, s *BatchScratch) {
 }
 
 // findSegment is FindBatch over one <= 2^16 address segment.
+//
+//geolint:hotpath
 func (x *FlatIndex[V]) findSegment(addrs []Addr, out []int32, s *BatchScratch) {
 	n := len(addrs)
 	if n == 0 {

@@ -3,9 +3,13 @@ package lint
 // All returns every project analyzer in stable (alphabetical) order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
 		CtxFirst,
 		Determinism,
+		GoroHygiene,
+		HotAlloc,
 		Layering,
+		LockBalance,
 		MapOrder,
 		PoolEscape,
 		SlogKeys,

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicMixFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixatomic", "routergeo/internal/obs/fixatomic", []*Analyzer{AtomicMix})
+}
+
+// TestAtomicMixCoreScope pins that the serving tier and the measurement
+// engine are both covered.
+func TestAtomicMixCoreScope(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixatomic", "routergeo/internal/core/fixatomic", []*Analyzer{AtomicMix})
+}
+
+func TestAtomicMixOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixatomic", "routergeo/internal/stats/fixatomic")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{AtomicMix}); len(fs) != 0 {
+		t.Fatalf("atomicmix fired outside its packages: %v", fs)
+	}
+}
+
+// TestLockBalanceFixture runs tree-wide (a lock imbalance is a bug in
+// any package), so the synthetic import path is arbitrary.
+func TestLockBalanceFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixlock", "routergeo/internal/geodb/httpapi/fixlock", []*Analyzer{LockBalance})
+}
+
+func TestGoroHygieneFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixgoro", "routergeo/internal/obs/fixgoro", []*Analyzer{GoroHygiene})
+}
+
+func TestGoroHygieneOutOfScope(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixgoro", "routergeo/internal/stats/fixgoro")
+	if fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{GoroHygiene}); len(fs) != 0 {
+		t.Fatalf("gorohygiene fired outside its packages: %v", fs)
+	}
+}
+
+// TestHotAllocFixture: hotalloc is annotation-scoped, not
+// package-scoped — only //geolint:hotpath functions are checked, under
+// any import path.
+func TestHotAllocFixture(t *testing.T) {
+	l := newTestLoader(t)
+	checkFixture(t, l, "fixhot", "routergeo/internal/geodb/httpapi/fixhot", []*Analyzer{HotAlloc})
+}
+
+// TestHotAllocFindingsMentionRemedy pins that hot-path findings tell
+// the reader what to do, not just what is wrong.
+func TestHotAllocFindingsMentionRemedy(t *testing.T) {
+	l := newTestLoader(t)
+	pkg := loadFixture(t, l, "fixhot", "routergeo/internal/ipx/fixhot")
+	fs := Run([]*Package{pkg}, l.Fset, []*Analyzer{HotAlloc})
+	if len(fs) == 0 {
+		t.Fatal("expected hotalloc findings")
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "hot path") {
+			t.Errorf("finding does not name the hot path contract: %s", f.Msg)
+		}
+	}
+}

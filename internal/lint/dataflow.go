@@ -1,0 +1,80 @@
+package lint
+
+// Forward dataflow over the CFGs of cfg.go. The framework implements
+// one classic scheme — an iterative forward may-analysis to a fixed
+// point — because every rule built so far needs exactly that shape:
+// "could fact F hold on SOME path reaching this point?" (a mutex may
+// still be held, a defer may have been registered). The lattice is the
+// analysis's own fact type; the framework only needs Join (path merge),
+// Transfer (one node's effect) and Equal (fixpoint detection).
+//
+// Termination is the analysis's contract: Join must be monotone over a
+// finite-height lattice (in practice: sets and bitmasks that only
+// grow). Every analyzer here joins with set union over a bounded key
+// space, so the worklist converges in a handful of passes even on
+// defer-heavy, labeled-loop control flow.
+
+import "go/ast"
+
+// A FlowAnalysis defines one forward dataflow problem. Transfer MUST be
+// pure with respect to its input fact — return a new fact (or the same
+// one unchanged), never mutate in place — because the same input fact
+// is joined into several successors.
+type FlowAnalysis[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer applies one block node's effect to the incoming fact.
+	Transfer(fact F, n ast.Node) F
+	// Join merges the facts of two converging paths.
+	Join(a, b F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// ForwardFlow runs the analysis over the CFG to a fixed point and
+// returns the fact holding at each block's entry and exit. The fact at
+// c.Exit's entry is "what may hold when the function returns" — the
+// usual place a balance rule checks.
+func ForwardFlow[F any](c *CFG, an FlowAnalysis[F]) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(c.Blocks))
+	out = make(map[*Block]F, len(c.Blocks))
+	seeded := make(map[*Block]bool, len(c.Blocks))
+
+	in[c.Entry] = an.Entry()
+	seeded[c.Entry] = true
+
+	// Worklist of blocks whose input changed, processed FIFO. Blocks
+	// are appended at most once while queued (the queued set dedups).
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = an.Transfer(fact, n)
+		}
+		out[blk] = fact
+
+		for _, succ := range blk.Succs {
+			var next F
+			if !seeded[succ] {
+				next = fact
+				seeded[succ] = true
+			} else {
+				next = an.Join(in[succ], fact)
+				if an.Equal(next, in[succ]) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,66 @@
+package lint
+
+// Diff mode: restrict findings to files changed since a git ref, so CI
+// pre-passes stay proportional to the change as the tree grows. The
+// analyzers still LOAD and run over whole packages — cross-file facts
+// (atomicmix's old-style field collection, layering's import graph)
+// need the full picture — only the reporting is narrowed.
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ChangedSince returns the set of files changed relative to ref —
+// committed or staged changes (git diff --name-only), plus untracked
+// files (git ls-files --others --exclude-standard) — as absolute paths.
+// Callers outside a git repository get an error and should fall back to
+// a full run.
+func ChangedSince(root, ref string) (map[string]bool, error) {
+	changed := map[string]bool{}
+	for _, args := range [][]string{
+		{"diff", "--name-only", ref, "--"},
+		{"ls-files", "--others", "--exclude-standard"},
+	} {
+		cmd := exec.Command("git", args...)
+		cmd.Dir = root
+		out, err := cmd.Output()
+		if err != nil {
+			msg := strings.TrimSpace(stderrOf(err))
+			if msg == "" {
+				msg = err.Error()
+			}
+			return nil, fmt.Errorf("git %s: %s", args[0], msg)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			changed[filepath.Join(root, filepath.FromSlash(line))] = true
+		}
+	}
+	return changed, nil
+}
+
+// stderrOf extracts the captured stderr from an exec error, if any.
+func stderrOf(err error) string {
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(ee.Stderr)
+	}
+	return ""
+}
+
+// FilterByFile keeps the findings located in one of the given files
+// (absolute paths, as ChangedSince returns them).
+func FilterByFile(findings []Finding, files map[string]bool) []Finding {
+	out := findings[:0]
+	for _, f := range findings {
+		if files[f.Pos.Filename] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// gitIn runs one git command in dir, with identity pinned so commits
+// work in a bare CI environment.
+func gitIn(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	full := append([]string{"-c", "user.name=t", "-c", "user.email=t@example.com"}, args...)
+	cmd := exec.Command("git", full...)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangedSince(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	dir := t.TempDir()
+	gitIn(t, dir, "init", "-q")
+	writeFile(t, filepath.Join(dir, "kept.go"), "package a\n")
+	writeFile(t, filepath.Join(dir, "edited.go"), "package a\n")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-q", "-m", "seed")
+
+	writeFile(t, filepath.Join(dir, "edited.go"), "package a // changed\n")
+	writeFile(t, filepath.Join(dir, "untracked.go"), "package a\n")
+
+	changed, err := ChangedSince(dir, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedSince: %v", err)
+	}
+	for _, want := range []string{"edited.go", "untracked.go"} {
+		if !changed[filepath.Join(dir, want)] {
+			t.Errorf("%s missing from changed set %v", want, changed)
+		}
+	}
+	if changed[filepath.Join(dir, "kept.go")] {
+		t.Error("kept.go must not be in the changed set")
+	}
+}
+
+func TestChangedSinceOutsideRepo(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	dir := t.TempDir() // no .git: the caller must fall back to a full run
+	if _, err := ChangedSince(dir, "HEAD"); err == nil {
+		t.Fatal("want an error outside a git repository")
+	}
+}
+
+func TestFilterByFile(t *testing.T) {
+	fs := []Finding{
+		{Rule: "r", Pos: token.Position{Filename: "/repo/a.go", Line: 1}},
+		{Rule: "r", Pos: token.Position{Filename: "/repo/b.go", Line: 2}},
+		{Rule: "r", Pos: token.Position{Filename: "/repo/a.go", Line: 3}},
+	}
+	got := FilterByFile(fs, map[string]bool{"/repo/a.go": true})
+	if len(got) != 2 {
+		t.Fatalf("want the two a.go findings, got %v", got)
+	}
+	for _, f := range got {
+		if f.Pos.Filename != "/repo/a.go" {
+			t.Errorf("wrong file survived the filter: %v", f)
+		}
+	}
+}

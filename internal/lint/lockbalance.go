@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockBalance checks, per function, that every sync.Mutex/RWMutex Lock
+// is released on every control-flow path. It is the first analyzer
+// built on the CFG + forward may-analysis layer (cfg.go, dataflow.go):
+// the lock state of each mutex is a lattice fact propagated through
+// branches, loops, labeled breaks and defers to the function's single
+// exit point.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc: "Every mu.Lock()/mu.RLock() must reach its Unlock/RUnlock on ALL " +
+		"control-flow paths of the function (defer mu.Unlock() counts for " +
+		"every path after its registration). Flagged: returning — or " +
+		"panicking — with the lock still held on some path, locking a mutex " +
+		"that may already be held (self-deadlock), unlocking a mutex that " +
+		"was never locked, and releasing a read lock with Unlock or a write " +
+		"lock with RUnlock. Helpers that intentionally return holding a " +
+		"lock need a //lint:ignore with the pairing explained.",
+	Run: runLockBalance,
+}
+
+// Per-mutex lock state, a may-set: the states the mutex can be in on at
+// least one path reaching a program point.
+type lockMask uint8
+
+const (
+	mayUnlocked  lockMask = 1 << iota
+	mayLocked             // held via Lock
+	mayRLocked            // held via RLock
+	deferUnlock           // a defer mu.Unlock() is registered
+	deferRUnlock          // a defer mu.RUnlock() is registered
+)
+
+// lockFact is the dataflow fact: the state of every mutex the function
+// touches, keyed by the rendered receiver path ("m.mu", "errMu"). pos
+// remembers the earliest Lock site still unreleased, for diagnostics.
+type lockFact map[string]lockInfo
+
+type lockInfo struct {
+	mask lockMask
+	pos  token.Pos // earliest acquisition site with a held state in mask
+}
+
+// lockFlow is the FlowAnalysis. Reports are emitted from Transfer
+// (double-lock, bad unlock) and after the flow (held at exit); the
+// reported set dedups across fixpoint re-visits of the same node.
+type lockFlow struct {
+	pass     *Pass
+	info     *types.Info
+	reported map[token.Pos]bool
+}
+
+func (lf *lockFlow) Entry() lockFact { return lockFact{} }
+
+func (lf *lockFlow) Equal(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func (lf *lockFlow) Join(a, b lockFact) lockFact {
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if cur, ok := out[k]; ok {
+			merged := lockInfo{mask: cur.mask | v.mask, pos: cur.pos}
+			if v.pos != token.NoPos && (merged.pos == token.NoPos || v.pos < merged.pos) {
+				merged.pos = v.pos
+			}
+			out[k] = merged
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (lf *lockFlow) Transfer(fact lockFact, n ast.Node) lockFact {
+	// Collect the mutex operations of this node in evaluation order.
+	type op struct {
+		key    string
+		method string
+		pos    token.Pos
+	}
+	var ops []op
+	addCall := func(call *ast.CallExpr) {
+		recv, method, ok := methodCall(lf.info, call)
+		if !ok || !isMutexMethod(recv, method) {
+			return
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		key, ok := exprPath(sel.X)
+		if !ok {
+			return
+		}
+		ops = append(ops, op{key: key, method: method, pos: call.Pos()})
+	}
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		// defer mu.Unlock() — or a one-level closure doing only that —
+		// registers a discharge that runs on every path to exit.
+		if recv, method, ok := methodCall(lf.info, s.Call); ok && isMutexMethod(recv, method) {
+			if key, ok := exprPath(s.Call.Fun.(*ast.SelectorExpr).X); ok {
+				fact = fact.clone()
+				cur := fact[key]
+				switch method {
+				case "Unlock":
+					cur.mask |= deferUnlock
+				case "RUnlock":
+					cur.mask |= deferRUnlock
+				case "Lock", "RLock":
+					// defer mu.Lock() is always wrong; flag as double-lock
+					// territory rather than modeling it.
+					lf.reportOnce(s.Call.Pos(), "defer %s.%s() acquires a lock at function exit with nothing left to release it", key, method)
+				}
+				fact[key] = cur
+			}
+			return fact
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			fact = fact.clone()
+			inspectShallow(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, method, ok := methodCall(lf.info, call); ok && isMutexMethod(recv, method) {
+					if key, ok := exprPath(call.Fun.(*ast.SelectorExpr).X); ok {
+						cur := fact[key]
+						switch method {
+						case "Unlock":
+							cur.mask |= deferUnlock
+						case "RUnlock":
+							cur.mask |= deferRUnlock
+						}
+						fact[key] = cur
+					}
+				}
+				return true
+			})
+			return fact
+		}
+		return fact
+	default:
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				addCall(call)
+			}
+			return true
+		})
+	}
+	if len(ops) == 0 {
+		return fact
+	}
+
+	fact = fact.clone()
+	for _, o := range ops {
+		cur, seen := fact[o.key]
+		if !seen {
+			cur = lockInfo{mask: mayUnlocked}
+		}
+		held := cur.mask & (mayLocked | mayRLocked)
+		switch o.method {
+		case "Lock":
+			if held&mayLocked != 0 {
+				lf.reportOnce(o.pos, "%s.Lock() when the mutex may already be locked (acquired at %s) — self-deadlock on that path", o.key, lf.pass.Fset.Position(cur.pos))
+			} else if held&mayRLocked != 0 {
+				lf.reportOnce(o.pos, "%s.Lock() while a read lock may be held (RLock at %s) — RWMutex writers wait for readers, deadlocking this goroutine against itself", o.key, lf.pass.Fset.Position(cur.pos))
+			}
+			cur.mask = (cur.mask &^ (mayUnlocked | mayRLocked)) | mayLocked
+			cur.pos = o.pos
+		case "RLock":
+			if held&mayLocked != 0 {
+				lf.reportOnce(o.pos, "%s.RLock() while the write lock may be held (Lock at %s) — self-deadlock on that path", o.key, lf.pass.Fset.Position(cur.pos))
+			}
+			cur.mask = (cur.mask &^ mayUnlocked) | mayRLocked
+			if cur.pos == token.NoPos || held == 0 {
+				cur.pos = o.pos
+			}
+		case "Unlock":
+			if held == 0 && seen {
+				lf.reportOnce(o.pos, "%s.Unlock() when the mutex cannot be locked on any path here", o.key)
+			} else if held == mayRLocked {
+				lf.reportOnce(o.pos, "%s.Unlock() releasing a read lock (RLock at %s) — use RUnlock", o.key, lf.pass.Fset.Position(cur.pos))
+			}
+			cur.mask = (cur.mask &^ (mayLocked | mayRLocked)) | mayUnlocked
+			cur.pos = token.NoPos
+		case "RUnlock":
+			if held == mayLocked {
+				lf.reportOnce(o.pos, "%s.RUnlock() releasing a write lock (Lock at %s) — use Unlock", o.key, lf.pass.Fset.Position(cur.pos))
+			}
+			cur.mask = (cur.mask &^ (mayLocked | mayRLocked)) | mayUnlocked
+			cur.pos = token.NoPos
+		}
+		fact[o.key] = cur
+	}
+	return fact
+}
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func (lf *lockFlow) reportOnce(pos token.Pos, format string, args ...any) {
+	if lf.reported[pos] {
+		return
+	}
+	lf.reported[pos] = true
+	lf.pass.Reportf(pos, format, args...)
+}
+
+// isMutexMethod reports whether method on recv is a sync.Mutex or
+// sync.RWMutex lock operation.
+func isMutexMethod(recv types.Type, method string) bool {
+	switch method {
+	case "Lock", "Unlock":
+		return namedFrom(recv, "sync", "Mutex") || namedFrom(recv, "sync", "RWMutex")
+	case "RLock", "RUnlock":
+		return namedFrom(recv, "sync", "RWMutex")
+	}
+	return false
+}
+
+// exprPath renders a receiver expression as a stable key: an identifier
+// or a selector chain rooted at one ("m.mu", "s.state.mu"). Anything
+// else (map/slice elements, call results) is not tracked — lock state
+// through those is beyond a per-function analysis.
+func exprPath(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.ParenExpr:
+		return exprPath(v.X)
+	case *ast.StarExpr:
+		return exprPath(v.X)
+	case *ast.SelectorExpr:
+		base, ok := exprPath(v.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + v.Sel.Name, true
+	}
+	return "", false
+}
+
+func runLockBalance(p *Pass) {
+	FuncBodies(p.Pkg, func(name string, node ast.Node, body *ast.BlockStmt) {
+		cfg := NewCFG(body)
+		lf := &lockFlow{pass: p, info: p.Pkg.Info, reported: map[token.Pos]bool{}}
+		exitIn, _ := ForwardFlow[lockFact](cfg, lf)
+
+		fact := exitIn[cfg.Exit]
+		keys := make([]string, 0, len(fact))
+		for k := range fact {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := fact[k]
+			if v.mask&mayLocked != 0 && v.mask&deferUnlock == 0 {
+				lf.reportOnce(v.pos, "%s.Lock() is not released on every path to return — add defer %s.Unlock() or unlock before each return", k, k)
+			}
+			if v.mask&mayRLocked != 0 && v.mask&deferRUnlock == 0 {
+				lf.reportOnce(v.pos, "%s.RLock() is not released on every path to return — add defer %s.RUnlock() or unlock before each return", k, k)
+			}
+		}
+	})
+}

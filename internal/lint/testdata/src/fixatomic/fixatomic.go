@@ -1,0 +1,57 @@
+// Package fixatomic exercises the atomicmix analyzer: every way a
+// struct field can mix atomic and plain access, next to the legal
+// constructor-initialization and method-receiver shapes.
+package fixatomic
+
+import "sync/atomic"
+
+type counter struct {
+	hits  atomic.Int64 // typed atomic: methods only
+	drops int64        // old-style: touched via atomic.AddInt64 below
+	name  string       // plain field, never atomic — free to use anywhere
+}
+
+// newCounter is the constructor: plain initialization before the value
+// escapes cannot race, so nothing here is flagged.
+func newCounter(name string) *counter {
+	c := &counter{name: name}
+	c.drops = 0
+	c.hits.Store(0)
+	return c
+}
+
+// makeCounter returns by value — still a constructor.
+func makeCounter() counter {
+	var c counter
+	c.drops = 0
+	return c
+}
+
+func (c *counter) bump() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.drops, 1)
+}
+
+func (c *counter) read() (int64, int64) {
+	return c.hits.Load(), atomic.LoadInt64(&c.drops)
+}
+
+func (c *counter) badPlainRead() int64 {
+	return c.drops // want:atomicmix
+}
+
+func (c *counter) badPlainWrite() {
+	c.drops = 7 // want:atomicmix
+}
+
+func (c *counter) badCopyTyped() atomic.Int64 {
+	return c.hits // want:atomicmix
+}
+
+func (c *counter) badAddrTyped() *atomic.Int64 {
+	return &c.hits // want:atomicmix
+}
+
+func (c *counter) okPlainField() string {
+	return c.name // never atomic anywhere: plain access is fine
+}

@@ -1,0 +1,112 @@
+// Package fixgoro exercises the gorohygiene analyzer: goroutines with
+// and without termination edges, closures capturing pooled state, and
+// the one loop-capture shape that still races under Go 1.22 semantics
+// (a pre-loop variable reassigned on every iteration).
+package fixgoro
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func okWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func okChanRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func okSelect(stop chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// watcher has a context parameter: launching it with a ctx is a
+// termination edge even though the launcher cannot see its body.
+func watcher(ctx context.Context) { <-ctx.Done() }
+
+func okNamedWithCtx(ctx context.Context) {
+	go watcher(ctx)
+}
+
+func okLoopIterVar(items []int, wg *sync.WaitGroup) {
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = it // per-iteration variable since go 1.22: not shared
+		}()
+	}
+}
+
+func badNoEdge() {
+	go func() { // want:gorohygiene
+		for {
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func badNamedNoEdge() {
+	go spin() // want:gorohygiene
+}
+
+func badExternalNoCtx() {
+	go fmt.Sprintln("fire and forget") // want:gorohygiene
+}
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+func badPoolCapture(wg *sync.WaitGroup) {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.b = s.b[:0] // want:gorohygiene
+	}()
+}
+
+func badLoopShared(items []int, wg *sync.WaitGroup) {
+	var cur int
+	for _, it := range items {
+		cur = it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = cur // want:gorohygiene
+		}()
+	}
+	wg.Wait()
+}

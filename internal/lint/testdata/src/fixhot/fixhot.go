@@ -1,0 +1,169 @@
+// Package fixhot exercises the hotalloc analyzer: every
+// allocation-introducing construct inside //geolint:hotpath functions,
+// next to the compiler-elided and pre-sized shapes the real hot paths
+// use. Unannotated functions are never flagged.
+package fixhot
+
+import "fmt"
+
+type iface interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+func sink(v iface)        { v.M() }
+func sinkAny(v any)       { _ = v }
+func variadicSink(...any) {}
+
+// growN mirrors the hot paths' resize-without-realloc helper; hotalloc
+// treats its result as pre-sized backing.
+func growN(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+//geolint:hotpath
+func badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want:hotalloc
+}
+
+//geolint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want:hotalloc
+}
+
+//geolint:hotpath
+func okConstConcat() string {
+	return "geo" + "lint" // constant-folded at compile time
+}
+
+//geolint:hotpath
+func badPlusEq(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want:hotalloc
+	}
+	return s
+}
+
+//geolint:hotpath
+func badClosure(xs []int) int {
+	f := func() int { return len(xs) } // want:hotalloc
+	return f()
+}
+
+//geolint:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want:hotalloc
+}
+
+//geolint:hotpath
+func badMakeMap() map[string]int {
+	return make(map[string]int) // want:hotalloc
+}
+
+//geolint:hotpath
+func badAppend(v int) []int {
+	var out []int
+	out = append(out, v) // want:hotalloc
+	return out
+}
+
+//geolint:hotpath
+func okPresizedAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//geolint:hotpath
+func okResliceAppend(buf []byte, b byte) []byte {
+	out := buf[:0]
+	out = append(out, b)
+	return out
+}
+
+//geolint:hotpath
+func okParamAppend(dst []byte, b byte) []byte {
+	return append(dst, b) // caller sized the backing: its contract
+}
+
+//geolint:hotpath
+func okGrowNAppend(s []byte, n int) []byte {
+	s = growN(s, n)
+	s = append(s, 0)
+	return s
+}
+
+//geolint:hotpath
+func badBoxing(v impl) {
+	sink(v) // want:hotalloc
+}
+
+//geolint:hotpath
+func okIfaceToIface(v iface) {
+	sink(v) // already an interface: no new box
+}
+
+type empty struct{}
+
+//geolint:hotpath
+func okZeroSize() {
+	sinkAny(empty{}) // zero-size values box to a static sentinel
+}
+
+//geolint:hotpath
+func badVariadicBoxing(n int) {
+	variadicSink(n) // want:hotalloc
+}
+
+//geolint:hotpath
+func okSpread(vs []any) {
+	variadicSink(vs...) // the slice is passed as-is, nothing boxes
+}
+
+//geolint:hotpath
+func okPanicArg(c bool) {
+	if c {
+		panic("invariant broken") // panicking paths are cold by definition
+	}
+}
+
+//geolint:hotpath
+func badStringConv(b []byte) string {
+	return string(b) // want:hotalloc
+}
+
+//geolint:hotpath
+func badBytesConv(s string) []byte {
+	return []byte(s) // want:hotalloc
+}
+
+//geolint:hotpath
+func okSwitchConv(b []byte) int {
+	switch string(b) { // compiler-elided: no copy in a switch tag
+	case "ips":
+		return 1
+	}
+	return 0
+}
+
+//geolint:hotpath
+func okCompareConv(b []byte) bool {
+	return string(b) == "db" // compiler-elided in == operands
+}
+
+//geolint:hotpath
+func okMapIndexConv(m map[string]int, b []byte) int {
+	return m[string(b)] // compiler-elided in map indexes
+}
+
+// coldFmt has no annotation: hotalloc must stay silent here.
+func coldFmt(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,127 @@
+// Package fixlock exercises the lockbalance analyzer: locks that
+// escape on some control-flow path, double acquisitions, read/write
+// mismatches — next to the balanced shapes the tree actually uses
+// (defer, explicit unlock on every branch, labeled-loop discipline).
+package fixlock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (g *guarded) okDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) okExplicitBothPaths(c bool) int {
+	g.mu.Lock()
+	if c {
+		g.mu.Unlock()
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) okDeferClosure() {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+func (g *guarded) okCondDefer(c bool) {
+	if c {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	_ = g.n
+}
+
+func (g *guarded) okTwoMutexes() {
+	g.mu.Lock()
+	g.rw.Lock()
+	g.n++
+	g.rw.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) okLabeledLoop(rows [][]int) int {
+	total := 0
+outer:
+	for i, row := range rows {
+		g.mu.Lock()
+		for _, v := range row {
+			if v == i {
+				g.mu.Unlock()
+				continue outer
+			}
+			total += v
+		}
+		g.mu.Unlock()
+	}
+	return total
+}
+
+func (g *guarded) badAcrossReturn(c bool) int {
+	g.mu.Lock() // want:lockbalance
+	if c {
+		return 0 // leaves with the lock held
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) badDoubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want:lockbalance
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *guarded) badUnlockTwice() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock() // want:lockbalance
+}
+
+func (g *guarded) badRWMismatch() int {
+	g.rw.RLock()
+	n := g.n
+	g.rw.Unlock() // want:lockbalance
+	return n
+}
+
+func (g *guarded) badLockWhileRLocked() {
+	g.rw.RLock()
+	g.rw.Lock() // want:lockbalance
+	g.n++
+	g.rw.Unlock()
+}
+
+func (g *guarded) badRLockAcrossReturn(c bool) int {
+	g.rw.RLock() // want:lockbalance
+	if c {
+		return 0
+	}
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+func (g *guarded) badLockInLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock() // want:lockbalance
+		g.n++
+	}
+}

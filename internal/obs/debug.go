@@ -42,6 +42,7 @@ func NewDebugMux(reg *Registry, bus *EventBus) *http.ServeMux {
 // reports startup through onErr (nil ignores failures). It never blocks;
 // the listener lives for the process lifetime.
 func ServeDebug(addr string, reg *Registry, bus *EventBus, onErr func(error)) {
+	//lint:ignore gorohygiene the debug listener is process-lifetime by design: it serves pprof/metrics until exit and is torn down by the OS, so no ctx/WaitGroup edge exists to wire
 	go func() {
 		if err := http.ListenAndServe(addr, NewDebugMux(reg, bus)); err != nil && onErr != nil {
 			onErr(err)
