@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt lint lint-json lint-diff build test race race-full chaos metrics-verify bench bench-compare fuzz-snap profile
+.PHONY: check vet fmt lint lint-json lint-diff build test race race-full chaos metrics-verify longitudinal bench bench-compare fuzz-snap profile
 
 check: vet fmt lint build race metrics-verify
 
@@ -77,6 +77,15 @@ chaos:
 metrics-verify:
 	$(GO) test -race -run 'MetricsVerify' -v .
 
+# Longitudinal acceptance suite: publishes a 3-epoch snapshot series
+# (byte-identical on republish), serves it from the snapshot archive and
+# proves /v2/lookup?asof= answers match direct snapshot loads byte for
+# byte, and checks the drift sweep's table is byte-identical between
+# serial and parallel runs and across same-seed pipeline rebuilds — see
+# longitudinal_accept_test.go.
+longitudinal:
+	$(GO) test -run 'Longitudinal' -v .
+
 # Measurement-engine benchmarks: sweep throughput serial vs parallel,
 # the lookup index and ECDF machinery under it, and the server's
 # /v2/lookup hot path (whose zero-alloc steady state the alloc gate
@@ -85,11 +94,15 @@ metrics-verify:
 BENCH_PATTERN = Coverage|Accuracy|Consistency|Lookup|ECDF
 BENCH_PKGS = ./internal/core/... ./internal/ipx/... ./internal/stats/... ./internal/geodb/httpapi/
 
-# Snapshot benchmarks: write/decode/open throughput and lookup latency
-# heap vs memory-mapped. Teed into BENCH_snap.json, the committed
-# baseline bench-compare gates against alongside the engine numbers.
-SNAP_BENCH_PATTERN = Write|Decode|Open|Lookup
+# Snapshot benchmarks: write/decode/open throughput, lookup latency
+# heap vs memory-mapped, and the epoch-diff engine. The /v2 time-travel
+# lookup (archive scan + asof parse on the batch hot path) rides in the
+# same BENCH_snap.json via its own pattern, since its benchmark lives in
+# the httpapi package but gates the snapshot-archive feature.
+SNAP_BENCH_PATTERN = Write|Decode|Open|Lookup|Diff
 SNAP_BENCH_PKGS = ./internal/geodb/snapshot/...
+ASOF_BENCH_PATTERN = V2AsOf
+ASOF_BENCH_PKGS = ./internal/geodb/httpapi/
 
 # Observability benchmarks: the Prometheus render cost per scrape and
 # the event-bus publish cost on the lookup/reload hot path (idle,
@@ -101,6 +114,7 @@ OBS_BENCH_PKGS = ./internal/obs/
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.json
 	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.json
+	$(GO) test -bench '$(ASOF_BENCH_PATTERN)' -benchmem -run ^$$ $(ASOF_BENCH_PKGS) | tee -a BENCH_snap.json
 	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.json
 
 # bench-compare re-runs the engine benchmarks and fails on any ns/op
@@ -123,6 +137,7 @@ bench-compare:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(BENCH_PKGS) | tee BENCH_core.new.json
 	$(GO) run ./cmd/benchcompare -old BENCH_core.json -new BENCH_core.new.json -threshold $(NS_THRESHOLD) -alloc-threshold $(ALLOC_THRESHOLD)
 	$(GO) test -bench '$(SNAP_BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(SNAP_BENCH_PKGS) | tee BENCH_snap.new.json
+	$(GO) test -bench '$(ASOF_BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(ASOF_BENCH_PKGS) | tee -a BENCH_snap.new.json
 	$(GO) run ./cmd/benchcompare -old BENCH_snap.json -new BENCH_snap.new.json -threshold $(NS_THRESHOLD)
 	$(GO) test -bench '$(OBS_BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run ^$$ $(OBS_BENCH_PKGS) | tee BENCH_obs.new.json
 	$(GO) run ./cmd/benchcompare -old BENCH_obs.json -new BENCH_obs.new.json -threshold $(NS_THRESHOLD)

@@ -29,6 +29,13 @@
 // re-loads even when the directory looks unchanged; a rescan already in
 // flight answers 409).
 //
+// -archive N keeps the last N retired generations alive after a swap so
+// GET /v2/lookup?asof=<unix> can time-travel: the newest generation
+// whose build epoch is at or before asof answers (its id in
+// X-Geodb-Generation), and an asof older than everything retained is a
+// 404 with a sentinel error body. /v2/stats reports the archive depth
+// and horizon.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: /healthz flips to
 // draining, in-flight requests get -drain to finish, then the listener
 // closes.
@@ -88,6 +95,7 @@ func main() {
 		chaos       = flag.String("chaos", "", "fault-injection policy, e.g. mixed or errors:rate=0.5,seed=7 (see internal/faults)")
 		snapDir     = flag.String("snap-dir", "", "directory of .rgsnap snapshots to serve and hot-reload from")
 		reloadEvery = flag.Duration("reload-interval", httpapi.DefaultReloadInterval, "how often -snap-dir is polled for new snapshot generations")
+		archive     = flag.Int("archive", 0, "retired generations to keep answering /v2/lookup?asof= time-travel queries (0 disables)")
 		admin       = flag.Bool("admin", false, "arm POST /v2/admin/reload (requires -snap-dir)")
 		dbPaths     dbList
 	)
@@ -149,6 +157,9 @@ func main() {
 	opts := []httpapi.ServerOption{
 		httpapi.WithMaxBatch(*maxBatch),
 		httpapi.WithRequestTimeout(*timeout),
+	}
+	if *archive > 0 {
+		opts = append(opts, httpapi.WithSnapshotArchive(*archive))
 	}
 	if *concurrency > 0 {
 		opts = append(opts, httpapi.WithServerConcurrency(*concurrency))

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestBuildEpochTriState pins the -epoch flag's tri-state semantics:
+// unset means a deterministic seed-derived epoch (never wall-clock
+// "now"), and an explicit value — zero included — is honored verbatim.
+// The old behavior treated 0 as "now", which made the default publish
+// non-reproducible and a literal epoch 0 unrepresentable.
+func TestBuildEpochTriState(t *testing.T) {
+	cases := []struct {
+		seed, epoch int64
+		set         bool
+		want        int64
+	}{
+		{seed: 1, epoch: 0, set: false, want: epochBase + 1},
+		{seed: 42, epoch: 0, set: false, want: epochBase + 42},
+		{seed: 1, epoch: 0, set: true, want: 0},
+		{seed: 1, epoch: 1234, set: true, want: 1234},
+		{seed: 99, epoch: -5, set: true, want: -5},
+	}
+	for _, tc := range cases {
+		if got := buildEpochFor(tc.seed, tc.epoch, tc.set); got != tc.want {
+			t.Errorf("buildEpochFor(%d, %d, %v) = %d, want %d",
+				tc.seed, tc.epoch, tc.set, got, tc.want)
+		}
+	}
+	// The default epoch is a pure function of the seed: two unset-flag
+	// builds of the same world republish under the same epoch.
+	if buildEpochFor(7, 0, false) != buildEpochFor(7, 0, false) {
+		t.Error("seed-derived default epoch not deterministic")
+	}
+	if buildEpochFor(7, 0, false) == buildEpochFor(8, 0, false) {
+		t.Error("different seeds should not collide on the default epoch")
+	}
+}

@@ -21,6 +21,14 @@
 // (degraded/tainted lookups, breaker opens) is recorded in the
 // manifest's taint section. See remoteAccuracy.
 //
+// -longitudinal runs the drift sweep instead of the paper artifacts:
+// the four vendor databases are rebuilt at each churn horizon (-epochs
+// steps of -interval-months months on the world's evolution timeline)
+// and scored against ground truth re-grounded at the same horizon, so
+// the per-epoch table shows how point-in-time accuracy decays as the
+// databases go stale. Output is byte-identical between serial and
+// parallel runs and across same-seed re-runs.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run (CPU over
 // the whole run, heap at exit), so `make profile` captures a real sweep
 // rather than a microbenchmark. Inspect with `go tool pprof`.
@@ -54,6 +62,9 @@ func main() {
 		dbdir     = flag.String("dbdir", "", "export the vendor databases to this directory")
 		plotdir   = flag.String("plotdir", "", "export figure series as TSV files to this directory")
 		stability = flag.Int("stability", 0, "instead of experiments, rebuild the pipeline under N seeds and print headline metrics")
+		longit    = flag.Bool("longitudinal", false, "instead of experiments, run the drift sweep: rebuild the vendor databases per epoch and score each against horizon-matched ground truth")
+		epochs    = flag.Int("epochs", 3, "epochs in the longitudinal sweep (with -longitudinal)")
+		interval  = flag.Float64("interval-months", 4, "months of churn between epochs (with -longitudinal)")
 		manifest  = flag.String("manifest", "routergeo-run.json", "write the JSON run manifest here (empty disables)")
 		par       = flag.Int("parallelism", 0, "worker count for measurement loops and the experiment fan-out; 1 forces the serial path (0 = GOMAXPROCS)")
 		remote    = flag.String("remote", "", "instead of experiments, score the accuracy sweep through a geoserve instance at this base URL")
@@ -171,6 +182,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote figure series to %s\n", *plotdir)
+	}
+
+	if *longit {
+		rec.SetCount("epochs", int64(*epochs))
+		if err := experiments.Longitudinal(ctx, os.Stdout, env, *epochs, *interval); err != nil {
+			fail(err)
+		}
+		writeManifest()
+		return
 	}
 
 	if *remote != "" {

@@ -76,6 +76,11 @@ type Env struct {
 	Evo   *netsim.Evolution
 	OneMs *groundtruth.Dataset
 
+	// Feed is the registration-data input the vendor builds consumed,
+	// retained so BuildDBsAt can rebuild the same vendors at a later
+	// churn horizon without re-deriving it.
+	Feed *vendors.Feed
+
 	// DBs holds the four databases in the paper's presentation order:
 	// IP2Location-Lite, MaxMind-GeoLite, MaxMind-Paid, NetAcuity.
 	DBs []*geodb.DB
@@ -194,9 +199,10 @@ func NewEnv(ctx context.Context, cfg Config) (*Env, error) {
 	// presentation order stable.
 	vCtx, vSpan := obs.Start(ctx, "vendors.build")
 	defer vSpan.End()
+	e.Feed = vendors.BuildFeed(w, vendors.DefaultFeedConfig())
 	in := vendors.Inputs{
 		World:   w,
-		Feed:    vendors.BuildFeed(w, vendors.DefaultFeedConfig()),
+		Feed:    e.Feed,
 		Zone:    e.Zone,
 		Decoder: e.Dec,
 	}
@@ -223,4 +229,46 @@ func NewEnv(ctx context.Context, cfg Config) (*Env, error) {
 	}
 	e.DBs = dbs
 	return e, nil
+}
+
+// BuildDBsAt rebuilds the four vendor databases as of a churn horizon on
+// the environment's evolution timeline, in the same presentation order
+// as DBs. A horizon of zero reproduces DBs byte for byte — every vendor
+// pipeline consumes the month-0 view of the same timeline — which is the
+// anchor the longitudinal analyses (and the snapshot series geosnap
+// publishes) rest on.
+func (e *Env) BuildDBsAt(ctx context.Context, months float64) ([]*geodb.DB, error) {
+	vCtx, vSpan := obs.Start(ctx, "vendors.build_at")
+	defer vSpan.End()
+	in := vendors.Inputs{
+		World:      e.W,
+		Feed:       e.Feed,
+		Zone:       e.Zone,
+		Decoder:    e.Dec,
+		Evo:        e.Evo,
+		AsOfMonths: months,
+	}
+	params := vendors.AllParams()
+	dbs := make([]*geodb.DB, len(params))
+	errs := make([]error, len(params))
+	var wg sync.WaitGroup
+	wg.Add(len(params))
+	for i, p := range params {
+		go func(i int, p vendors.Params) {
+			defer wg.Done()
+			_, sp := obs.Start(vCtx, "vendors.build_at."+p.Name)
+			defer sp.End()
+			dbs[i], errs[i] = vendors.Build(in, p)
+			if dbs[i] != nil {
+				sp.SetItems(int64(dbs[i].Len()))
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build vendors at %v months: %w", months, err)
+		}
+	}
+	return dbs, nil
 }

@@ -150,6 +150,26 @@ func WithRequiredGeneration(gen string) ClientOption {
 	return func(c *Client) { c.requiredGen = gen }
 }
 
+// ErrBeforeArchiveHorizon is returned (wrapped) when an asof-pinned
+// lookup asks for a point in time older than every generation the
+// server retains. It is terminal: the archive only loses generations
+// going forward, so retrying cannot help.
+var ErrBeforeArchiveHorizon = errors.New("httpapi: asof precedes the snapshot archive horizon")
+
+// beforeHorizonText is the ErrorResponse body the server sends for such
+// requests; the client matches it to map the 404 onto the sentinel
+// (a plain 404 — wrong path, unknown database — stays a status error).
+const beforeHorizonText = "no generation at or before asof: beyond the snapshot archive horizon"
+
+// WithAsOf pins every batch lookup to a point in time: requests go to
+// /v2/lookup?asof=<unix> and the server answers from the newest
+// generation built at or before it (the snapshot archive's time-travel
+// query). Asking for a time the archive no longer covers fails with
+// ErrBeforeArchiveHorizon.
+func WithAsOf(unix int64) ClientOption {
+	return func(c *Client) { c.asof, c.asofSet = unix, true }
+}
+
 // WithBaseContext sets the context Provider-shaped entry points
 // (Lookup, TryLookup via RemoteProvider, Databases, Stats) derive their
 // request contexts from, since the geodb.Provider interface cannot carry
@@ -202,6 +222,11 @@ type Client struct {
 	genMu       sync.Mutex
 	gen         string
 	genFlips    atomic.Int64
+
+	// asof pins batch lookups to a point in time (WithAsOf); asofSet
+	// distinguishes "no pin" from an explicit asof of 0.
+	asof    int64
+	asofSet bool
 }
 
 // NewClient builds a resilient client with the Default* settings, then
@@ -464,13 +489,14 @@ func (c *Client) do(ctx context.Context, path string, body []byte, out interface
 			}
 		}
 		status, ra, err := c.once(ctx, path, body, out)
-		if errors.Is(err, ErrGenerationMismatch) {
+		if errors.Is(err, ErrGenerationMismatch) || errors.Is(err, ErrBeforeArchiveHorizon) {
 			// Terminal, not a transport failure: the host answered fine,
-			// the data it serves moved past our pin. Retrying cannot help.
+			// the data we asked for moved past our pin or fell off the
+			// archive. Retrying cannot help.
 			if c.br != nil {
 				c.br.success()
 			}
-			c.log().Error("server generation mismatch", "path", path, "error", err)
+			c.log().Error("terminal lookup error", "path", path, "error", err)
 			c.mu.Lock()
 			c.lastErr = err
 			c.mu.Unlock()
@@ -534,7 +560,15 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out interfa
 	}
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the connection can be reused, then report the status.
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		// A 404 carrying the archive-horizon sentinel body becomes the
+		// terminal ErrBeforeArchiveHorizon instead of a bare status.
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusNotFound {
+			var er ErrorResponse
+			if json.Unmarshal(b, &er) == nil && er.Error == beforeHorizonText {
+				return resp.StatusCode, 0, fmt.Errorf("%w: asof=%d", ErrBeforeArchiveHorizon, c.asof)
+			}
+		}
 		return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
 	}
 	if out != nil {
@@ -648,7 +682,7 @@ func (c *Client) BatchLookup(ctx context.Context, ips []string) ([]BatchEntry, e
 				body, err := json.Marshal(BatchRequest{IPs: ips[ck.lo:ck.hi], DB: c.DB})
 				if err == nil {
 					var resp BatchResponse
-					err = c.do(ctx, "/v2/lookup", body, &resp)
+					err = c.do(ctx, c.v2LookupPath(), body, &resp)
 					if err == nil && len(resp.Entries) != ck.hi-ck.lo {
 						err = fmt.Errorf("httpapi: batch answer has %d entries, want %d",
 							len(resp.Entries), ck.hi-ck.lo)
@@ -676,6 +710,15 @@ func (c *Client) BatchLookup(ctx context.Context, ips []string) ([]BatchEntry, e
 		return nil, firstErr
 	}
 	return entries, nil
+}
+
+// v2LookupPath is the batch endpoint, with the asof pin attached when
+// WithAsOf configured one.
+func (c *Client) v2LookupPath() string {
+	if !c.asofSet {
+		return "/v2/lookup"
+	}
+	return "/v2/lookup?asof=" + strconv.FormatInt(c.asof, 10)
 }
 
 // Name implements geodb.Provider.

@@ -38,6 +38,12 @@ type generation struct {
 	id   string
 	etag string
 
+	// epoch is the newest BuildEpoch among the member databases — the
+	// point in time this generation represents. The ?asof= selector
+	// compares against it; 0 for purely in-memory builds, which serve
+	// any asof.
+	epoch int64
+
 	closers []func() error
 
 	// refs counts pins: the handler's own reference plus one per
@@ -65,6 +71,9 @@ func newGeneration(dbs []*geodb.DB, closers []func() error) *generation {
 		db := g.byName[name]
 		si := snapshotInfo(db)
 		g.snaps[name] = si
+		if si.BuildEpoch > g.epoch {
+			g.epoch = si.BuildEpoch
+		}
 		info := databaseInfo(db)
 		info.Snapshot = &si
 		g.infos = append(g.infos, info)
@@ -139,14 +148,77 @@ func (h *Handler) acquireGen() *generation {
 // closers (snapshot mapping releases) run only after its last reader
 // drains. closers belong to the NEW generation and run when it is in
 // turn swapped out and drained. Returns the new set-level generation id.
+//
+// With a snapshot archive configured (WithSnapshotArchive), the retired
+// generation keeps its pin and moves into the archive instead, where
+// ?asof= queries can still reach it; only generations evicted off the
+// archive's tail are released.
 func (h *Handler) Swap(dbs []*geodb.DB, closers ...func() error) string {
 	g := newGeneration(dbs, closers)
+	h.archiveMu.Lock()
 	old := h.gen.Swap(g)
+	archived := false
+	var evicted []*generation
+	// An empty generation (geoserve's boot state before the first
+	// -snap-dir scan swaps real data in) can never answer a lookup;
+	// archiving it would also shadow the real asof horizon, since its
+	// zero epoch matches any asof.
+	if h.archiveMax > 0 && len(old.names) > 0 {
+		h.archive = append(h.archive, old)
+		archived = true
+		if n := len(h.archive) - h.archiveMax; n > 0 {
+			evicted = append(evicted, h.archive[:n]...)
+			h.archive = append(h.archive[:0], h.archive[n:]...)
+		}
+	}
+	h.archiveMu.Unlock()
 	h.metrics.swaps.Inc()
 	h.bus.Publish("generation.swap",
 		"from", old.id, "to", g.id, "databases", len(g.names))
-	old.release()
+	if !archived {
+		old.release()
+	}
+	for _, e := range evicted {
+		e.release()
+	}
 	return g.id
+}
+
+// acquireAsOf pins the newest generation whose build epoch is at or
+// before asof — the current one or an archived one, later epochs (and,
+// on epoch ties, later retirements) winning. nil means every reachable
+// generation is newer than asof: the request predates the archive
+// horizon.
+//
+// The scan holds archiveMu, which linearizes it against Swap: a
+// generation seen in the archive or as current still holds its
+// archive/handler pin (both are only dropped by a Swap that must first
+// take this lock, or after it), so the acquire here can never pin a
+// generation whose closers already ran.
+func (h *Handler) acquireAsOf(asof int64) *generation {
+	h.archiveMu.Lock()
+	var best *generation
+	for _, g := range h.archive {
+		if g.epoch <= asof && (best == nil || g.epoch >= best.epoch) {
+			best = g
+		}
+	}
+	if g := h.gen.Load(); g.epoch <= asof && (best == nil || g.epoch >= best.epoch) {
+		best = g
+	}
+	if best != nil {
+		best.acquire()
+	}
+	h.archiveMu.Unlock()
+	return best
+}
+
+// ArchivedGenerations reports how many retired generations the archive
+// currently holds.
+func (h *Handler) ArchivedGenerations() int {
+	h.archiveMu.Lock()
+	defer h.archiveMu.Unlock()
+	return len(h.archive)
 }
 
 // Generation returns the current set-level generation id — the value of

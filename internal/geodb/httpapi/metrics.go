@@ -57,6 +57,22 @@ type StatsResponse struct {
 	// errors, lookups degraded to a local fallback, lookups tainted as
 	// false misses (registry prefix client.outage.).
 	Taint map[string]int64 `json:"taint,omitempty"`
+
+	// Archive describes the snapshot archive backing ?asof= time travel;
+	// omitted when the server keeps no archive (WithSnapshotArchive).
+	Archive *ArchiveInfo `json:"archive,omitempty"`
+}
+
+// ArchiveInfo is the StatsResponse block describing the generation
+// archive.
+type ArchiveInfo struct {
+	// Generations is how many retired generations are currently held.
+	Generations int `json:"generations"`
+	// Max is the configured archive capacity.
+	Max int `json:"max"`
+	// HorizonEpoch is the oldest build epoch still answerable: ?asof=
+	// values before it are 404s.
+	HorizonEpoch int64 `json:"horizon_epoch"`
 }
 
 // dbTally is one database's pair of registry counters, resolved once at

@@ -25,7 +25,8 @@ const DefaultReloadInterval = 5 * time.Second
 
 // Reloader gives a Handler zero-downtime hot reload from a snapshot
 // directory: it polls the directory, and when the set of *.rgsnap files
-// changes (path, size or mtime) it loads the whole new generation beside
+// changes (path, size, mtime or header checksum) it loads the whole new
+// generation beside
 // the old one, validates every file (magic, version, checksum — the
 // loader refuses anything less), and swaps it in atomically. A failed
 // load leaves the serving generation untouched. Publishers therefore
@@ -51,6 +52,12 @@ type Reloader struct {
 type fileStamp struct {
 	size  int64
 	mtime time.Time
+	// sum is the snapshot header checksum: a republish of different
+	// content at the same size landing within mtime granularity still
+	// changes the stamp. 0 when the header could not be read — the
+	// stamp is kept anyway so a corrupt publish stays visible as a
+	// change (and fails the load loudly).
+	sum uint64
 }
 
 // NewReloader watches dir on behalf of h. interval <= 0 selects
@@ -87,7 +94,11 @@ func (r *Reloader) scan() (map[string]fileStamp, error) {
 			// rename; skip it, the next poll sees the stable state.
 			continue
 		}
-		out[p] = fileStamp{size: st.Size(), mtime: st.ModTime()}
+		sum, err := snapshot.HeaderChecksum(p)
+		if err != nil {
+			sum = 0
+		}
+		out[p] = fileStamp{size: st.Size(), mtime: st.ModTime(), sum: sum}
 	}
 	return out, nil
 }

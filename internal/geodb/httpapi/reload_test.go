@@ -123,6 +123,64 @@ func TestReloaderCorruptPublishKeepsServingGeneration(t *testing.T) {
 	}
 }
 
+// TestReloaderDetectsSameSizeRepublish republishes byte-different but
+// size-identical snapshots with pinned mtimes. Only the header checksum
+// in the file stamp can tell the generations apart; before it was added
+// the rescan below reported "unchanged" and kept serving stale data.
+func TestReloaderDetectsSameSizeRepublish(t *testing.T) {
+	dir := t.TempDir()
+	publishSnapshots(t, dir, 1)
+
+	// Pin every snapshot's mtime to a fixed instant so the republish is
+	// invisible to the mtime check.
+	pinned := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	pin := func() map[string]int64 {
+		t.Helper()
+		sizes := make(map[string]int64)
+		paths, err := filepath.Glob(filepath.Join(dir, "*"+snapshot.Ext))
+		if err != nil || len(paths) == 0 {
+			t.Fatalf("glob: paths=%v err=%v", paths, err)
+		}
+		for _, p := range paths {
+			if err := os.Chtimes(p, pinned, pinned); err != nil {
+				t.Fatal(err)
+			}
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[p] = st.Size()
+		}
+		return sizes
+	}
+	before := pin()
+
+	h := NewHandler(nil)
+	r := NewReloader(h, dir, time.Hour, nil)
+	if _, err := r.Rescan(true); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := h.Generation()
+
+	// Same databases, new epoch: the epoch lives in the fixed-width
+	// header, so the files are byte-different at identical size.
+	publishSnapshots(t, dir, 2)
+	after := pin()
+	for p, sz := range after {
+		if before[p] != sz {
+			t.Fatalf("republish changed %s from %d to %d bytes; the test needs identical sizes", p, before[p], sz)
+		}
+	}
+
+	swapped, err := r.Rescan(false)
+	if err != nil || !swapped {
+		t.Fatalf("same-size republish rescan: swapped=%v err=%v", swapped, err)
+	}
+	if h.Generation() == gen1 {
+		t.Fatal("same-size republish did not change the generation")
+	}
+}
+
 func TestReloaderEmptyDirIsAnError(t *testing.T) {
 	h := NewHandler(testDBs(t))
 	r := NewReloader(h, t.TempDir(), time.Hour, nil)

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,20 @@ func WithLogger(l *slog.Logger) ServerOption {
 	return func(h *Handler) { h.logger = l }
 }
 
+// WithSnapshotArchive keeps the last n retired generations pinned after
+// they are swapped out, so GET /v2/lookup?asof=<unix> can answer from
+// the newest generation whose build epoch is at or before asof. Asof
+// requests older than everything retained answer 404 with the archive-
+// horizon sentinel. n <= 0 (the default) keeps no archive: asof then
+// only ever matches the live generation.
+func WithSnapshotArchive(n int) ServerOption {
+	return func(h *Handler) {
+		if n > 0 {
+			h.archiveMax = n
+		}
+	}
+}
+
 // WithAdminReload arms the POST /v2/admin/reload endpoint with hook,
 // typically a Reloader's AdminHook. The hook triggers a snapshot rescan
 // (force re-loads even when the directory looks unchanged) and reports
@@ -125,6 +140,14 @@ type Handler struct {
 
 	draining atomic.Bool
 	metrics  *metrics
+
+	// The snapshot archive: the last archiveMax retired generations, in
+	// retirement order, each still holding the pin Swap would otherwise
+	// have dropped. archiveMu linearizes Swap's retire/evict against
+	// acquireAsOf's scan.
+	archiveMax int
+	archiveMu  sync.Mutex
+	archive    []*generation
 
 	// bus carries the server's live event stream; streamStop is closed
 	// once when the server starts draining, ending every /v2/events
@@ -290,6 +313,21 @@ func (h *Handler) resolve(g *generation, addr ipx.Addr, dbName string) map[strin
 func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
 	g := h.acquireGen()
 	defer g.release()
+	if r.URL.RawQuery != "" {
+		// Cold path: time travel. The RawQuery gate keeps URL parsing (and
+		// its allocations) away from plain batch lookups.
+		ag, handled := h.timeTravel(w, r)
+		if handled {
+			return
+		}
+		if ag != nil {
+			defer ag.release()
+			g = ag
+			// Override the middleware's stamp: this answer comes from the
+			// pinned historical generation, not the live one.
+			w.Header().Set(GenerationHeader, g.id)
+		}
+	}
 	st := v2StatePool.Get().(*v2State)
 	defer putV2State(st)
 
@@ -379,6 +417,28 @@ func (h *Handler) handleV2Lookup(w http.ResponseWriter, r *http.Request) {
 // path assigns directly (the key is already in canonical form).
 var jsonContentType = []string{"application/json"}
 
+// timeTravel resolves a /v2/lookup?asof= query to a pinned generation.
+// handled == true means the response was already written (bad parameter,
+// or asof precedes the archive horizon); a nil generation with handled
+// == false means no asof was requested and the live generation stands.
+func (h *Handler) timeTravel(w http.ResponseWriter, r *http.Request) (*generation, bool) {
+	s := r.URL.Query().Get("asof")
+	if s == "" {
+		return nil, false
+	}
+	asof, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid asof parameter: " + s})
+		return nil, true
+	}
+	g := h.acquireAsOf(asof)
+	if g == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: beforeHorizonText})
+		return nil, true
+	}
+	return g, false
+}
+
 func (h *Handler) handleV2Databases(w http.ResponseWriter, r *http.Request) {
 	g := h.acquireGen()
 	defer g.release()
@@ -399,6 +459,20 @@ func (h *Handler) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 	s.Generation = g.id
 	s.Reloads = h.metrics.swaps.Value()
 	s.Snapshots = g.snaps
+	if h.archiveMax > 0 {
+		h.archiveMu.Lock()
+		a := &ArchiveInfo{Generations: len(h.archive), Max: h.archiveMax}
+		for i, ag := range h.archive {
+			if i == 0 || ag.epoch < a.HorizonEpoch {
+				a.HorizonEpoch = ag.epoch
+			}
+		}
+		if cur := h.gen.Load(); len(h.archive) == 0 || cur.epoch < a.HorizonEpoch {
+			a.HorizonEpoch = cur.epoch
+		}
+		h.archiveMu.Unlock()
+		s.Archive = a
+	}
 	writeJSON(w, http.StatusOK, s)
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"unsafe"
@@ -293,4 +294,25 @@ func Inspect(path string) (Info, error) {
 	info := h.Info()
 	_ = h.Close()
 	return info, nil
+}
+
+// HeaderChecksum reads only the checksum field from a snapshot file's
+// header — the cheapest content fingerprint the format offers. It does
+// not validate the file; a reload poller uses it to notice a same-size
+// republish that a size+mtime stamp would miss, and leaves full
+// validation to the Open that follows.
+func HeaderChecksum(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: %s: %v", ErrTruncated, path, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return 0, fmt.Errorf("%w: %s", ErrBadMagic, path)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
 }

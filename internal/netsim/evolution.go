@@ -3,9 +3,11 @@ package netsim
 import (
 	"math"
 	"math/rand"
+	"strings"
 
 	"routergeo/internal/gazetteer"
 	"routergeo/internal/geo"
+	"routergeo/internal/ipx"
 )
 
 // EvolutionParams sets the per-month hazard rates of the churn processes
@@ -24,16 +26,32 @@ type EvolutionParams struct {
 }
 
 // DefaultEvolutionParams calibrates the hazards to the paper's 16-month
-// observations: 6.9% of addresses lost rDNS, 24% changed hostname, and
-// 7.4% of all addresses changed location.
+// observations (§3.1): 6.9% of addresses lost rDNS, 24% changed
+// hostname, and 7.4% of all addresses changed location. The observed
+// fractions decompose over two independent processes: Moved covers every
+// location change (including stale-hint moves that keep the old name),
+// while Renamed is the union of in-place renames and moves whose
+// operator updated the hostname — so the in-place rename marginal is
+// backed out of the observed 24% rather than hazarded directly:
+//
+//	P(renamed at 16) = 1 - (1 - pRename)·(1 - pMove·(1 - staleFrac))
 func DefaultEvolutionParams() EvolutionParams {
-	hazard := func(p16 float64) float64 { return -math.Log(1-p16) / 16 }
+	const (
+		horizonMonths = 16.0
+		movedFrac     = 0.074 // all location changes, stale-hint moves included
+		renamedFrac   = 0.24  // all hostname changes, updated moves included
+		lostFrac      = 0.069
+		undecodable   = 0.02
+		staleHint     = 0.06
+	)
+	hazard := func(p float64) float64 { return -math.Log(1-p) / horizonMonths }
+	renameOnly := 1 - (1-renamedFrac)/(1-movedFrac*(1-staleHint))
 	return EvolutionParams{
-		MoveRatePerMonth:   hazard(0.079), // moves incl. stale-hint ones
-		RenameRatePerMonth: hazard(0.166), // renames that are not moves
-		LossRatePerMonth:   hazard(0.069),
-		UndecodableFrac:    0.02,
-		StaleHintFrac:      0.06,
+		MoveRatePerMonth:   hazard(movedFrac),
+		RenameRatePerMonth: hazard(renameOnly),
+		LossRatePerMonth:   hazard(lostFrac),
+		UndecodableFrac:    undecodable,
+		StaleHintFrac:      staleHint,
 	}
 }
 
@@ -50,6 +68,10 @@ type Evolution struct {
 	stale    []bool
 	newCity  []gazetteer.City
 	newCoord []geo.Coordinate
+
+	// byBlock indexes interfaces by /24 base for the horizon-aware block
+	// majority query, mirroring World.blockCities' per-interface counting.
+	byBlock map[ipx.Addr][]IfaceID
 }
 
 // Evolve samples a churn timeline. Deterministic for a given rng state.
@@ -109,7 +131,43 @@ func (w *World) Evolve(rng *rand.Rand, p EvolutionParams) *Evolution {
 		e.newCity[i] = dest
 		e.newCoord[i] = dest.Coord.Offset(rng.Float64()*w.Cfg.CityJitterKm, rng.Float64()*360)
 	}
+	// The block index consumes no rng draws, so adding it kept existing
+	// seeds' timelines bit-identical.
+	e.byBlock = make(map[ipx.Addr][]IfaceID, len(w.blockCities))
+	for i := range w.Interfaces {
+		base := w.Interfaces[i].Addr.Slash24().Base
+		e.byBlock[base] = append(e.byBlock[base], IfaceID(i))
+	}
 	return e
+}
+
+// World returns the epoch-0 world the timeline evolves.
+func (e *Evolution) World() *World { return e.w }
+
+// BlockMajorityCityAt is World.BlockMajorityCity at a churn horizon: the
+// city hosting the most interfaces of addr's /24 block once every move
+// up to the horizon has been applied, with the same smallest-key tie
+// break. At months == 0 it returns exactly what World.BlockMajorityCity
+// returns, which is what keeps an evolved vendor build at horizon zero
+// byte-identical to the un-evolved one.
+func (e *Evolution) BlockMajorityCityAt(a ipx.Addr, months float64) (gazetteer.City, bool) {
+	ids := e.byBlock[a.Slash24().Base]
+	if len(ids) == 0 {
+		return gazetteer.City{}, false
+	}
+	counts := make(map[string]int, 2)
+	for _, id := range ids {
+		c := e.CityAt(id, months)
+		counts[c.Country+"/"+c.Name]++
+	}
+	bestKey, bestN := "", 0
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < bestKey) {
+			bestKey, bestN = k, n
+		}
+	}
+	cc, name, _ := strings.Cut(bestKey, "/")
+	return e.w.Gaz.City(cc, name)
 }
 
 // Moved reports whether the interface's address was reassigned to a host

@@ -138,6 +138,17 @@ type Inputs struct {
 	// Params.UseHints is set.
 	Zone    *rdns.Zone
 	Decoder *hints.Decoder
+
+	// Evo and AsOfMonths rebuild the vendor as of a churn horizon: the
+	// measurement pipeline observes each block's majority city after the
+	// timeline's moves, and the hint pipeline reads the evolved zone
+	// (renames, stale hints, lost records). A horizon of zero with a
+	// non-nil Evo is byte-identical to the un-evolved build — LookupAt
+	// and BlockMajorityCityAt are exact identities at month 0 — which is
+	// what lets the longitudinal series share epoch 0 with every other
+	// experiment. AsOfMonths != 0 requires Evo.
+	Evo        *netsim.Evolution
+	AsOfMonths float64
 }
 
 // Build runs one vendor pipeline and returns its database.
@@ -147,6 +158,19 @@ func Build(in Inputs, p Params) (*geodb.DB, error) {
 	}
 	if p.UseHints && (in.Zone == nil || in.Decoder == nil) {
 		return nil, fmt.Errorf("vendors: %s: hint pipeline requires zone and decoder", p.Name)
+	}
+	if in.AsOfMonths != 0 && in.Evo == nil {
+		return nil, fmt.Errorf("vendors: %s: AsOfMonths=%v requires an evolution timeline", p.Name, in.AsOfMonths)
+	}
+	majorityCity := in.World.BlockMajorityCity
+	lookupPTR := in.Zone.Lookup
+	if in.Evo != nil {
+		majorityCity = func(base ipx.Addr) (gazetteer.City, bool) {
+			return in.Evo.BlockMajorityCityAt(base, in.AsOfMonths)
+		}
+		lookupPTR = func(id netsim.IfaceID) (string, bool) {
+			return in.Zone.LookupAt(id, in.Evo, in.AsOfMonths)
+		}
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	coords := newCoordTable(p)
@@ -238,7 +262,7 @@ func Build(in Inputs, p Params) (*geodb.DB, error) {
 				corrRate *= p.CorrectionTransitFactor
 			}
 			if draw("corr", blkBase) < corrRate {
-				if truth, ok := in.World.BlockMajorityCity(blkBase); ok {
+				if truth, ok := majorityCity(blkBase); ok {
 					city := truth
 					if draw("corracc", blkBase) >= p.CorrectionCityAcc {
 						city = neighborCity(in.World.Gaz, truth, subRNG("wrongcity", blkBase))
@@ -253,7 +277,7 @@ func Build(in Inputs, p Params) (*geodb.DB, error) {
 
 			if p.UseHints {
 				for _, id := range ifacesByBlock[blkBase] {
-					name, ok := in.Zone.Lookup(id)
+					name, ok := lookupPTR(id)
 					if !ok || rng.Float64() >= p.HintDecodeRate {
 						continue
 					}

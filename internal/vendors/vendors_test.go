@@ -2,6 +2,7 @@ package vendors
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"routergeo/internal/geo"
@@ -330,5 +331,83 @@ func TestBuildDeterministic(t *testing.T) {
 	orig := dbs["NetAcuity"]
 	if again.Len() != orig.Len() {
 		t.Fatalf("non-deterministic build: %d vs %d entries", again.Len(), orig.Len())
+	}
+}
+
+func TestEvolvedBuildAtZeroIsIdentity(t *testing.T) {
+	// A horizon-zero evolved build must be byte-identical to the base
+	// build: LookupAt(·, evo, 0) ≡ Lookup and BlockMajorityCityAt(·, 0)
+	// ≡ BlockMajorityCity, so even the hint pipeline's sequential rng
+	// consumption is unchanged. The longitudinal series leans on this to
+	// share epoch 0 with the point-in-time experiments.
+	w, _ := setup(t)
+	dict := hints.NewDictionary(w.Gaz)
+	in := Inputs{
+		World:   w,
+		Feed:    BuildFeed(w, DefaultFeedConfig()),
+		Zone:    rdns.Synthesize(w, dict, rdns.DefaultConfig()),
+		Decoder: hints.NewDecoder(dict),
+	}
+	evo := w.Evolve(rand.New(rand.NewSource(42)), netsim.DefaultEvolutionParams())
+	for _, p := range []Params{IP2LocationLite(), NetAcuity()} {
+		base, err := Build(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inEvo := in
+		inEvo.Evo = evo
+		evolved, err := Build(inEvo, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := dbfile.Write(&b1, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := dbfile.Write(&b2, evolved); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: evolved build at month 0 differs from the base build", p.Name)
+		}
+	}
+}
+
+func TestEvolvedBuildAtHorizonDiffers(t *testing.T) {
+	w, _ := setup(t)
+	dict := hints.NewDictionary(w.Gaz)
+	in := Inputs{
+		World:   w,
+		Feed:    BuildFeed(w, DefaultFeedConfig()),
+		Zone:    rdns.Synthesize(w, dict, rdns.DefaultConfig()),
+		Decoder: hints.NewDecoder(dict),
+		Evo:     w.Evolve(rand.New(rand.NewSource(42)), netsim.DefaultEvolutionParams()),
+	}
+	base, err := Build(in, NetAcuity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.AsOfMonths = 16
+	later, err := Build(in, NetAcuity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := dbfile.Write(&b1, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbfile.Write(&b2, later); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("16 months of churn left the NetAcuity build untouched")
+	}
+}
+
+func TestEvolvedBuildRequiresTimeline(t *testing.T) {
+	w, _ := setup(t)
+	in := Inputs{World: w, Feed: BuildFeed(w, DefaultFeedConfig()), AsOfMonths: 10}
+	if _, err := Build(in, IP2LocationLite()); err == nil {
+		t.Error("AsOfMonths without Evo must fail")
 	}
 }
